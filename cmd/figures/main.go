@@ -1,0 +1,153 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation from the reproduction's own simulator and workloads:
+//
+//	figures fig2    — event-counter PC attribution (in-order vs OoO)
+//	figures table1  — pipeline-stage latencies per stress kernel
+//	figures fig3    — convergence of sampled estimates
+//	figures fig6    — path reconstruction success rates
+//	figures fig7    — latency vs wasted issue slots
+//	figures sec6    — windowed IPC statistics
+//	figures all     — everything above, in order
+//
+// Each experiment prints the paper's rows/series and then reports whether
+// the paper's qualitative claims hold on this run ("shape check").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"profileme/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run smaller configurations (~10x faster)")
+	csv := flag.Bool("csv", false, "emit the figure's data series as CSV instead of text")
+	flag.Usage = usage
+	flag.Parse()
+	csvOut = *csv
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	which := flag.Arg(0)
+	var failures int
+	runOne := func(name string) {
+		if err := run(name, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			failures++
+		}
+	}
+	if which == "all" {
+		for _, name := range []string{"fig2", "table1", "fig3", "fig6", "fig7", "sec6", "blindspot", "ww", "multiproc"} {
+			runOne(name)
+			fmt.Println()
+		}
+	} else {
+		runOne(which)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: figures [-quick] {fig2|fig3|fig6|fig7|table1|sec6|blindspot|ww|multiproc|all}\n")
+	flag.PrintDefaults()
+}
+
+// checker is the common surface of all experiment results.
+type checker interface {
+	Check() error
+	Render() string
+	CSV() string
+}
+
+// csvOut selects CSV output (set from the -csv flag).
+var csvOut bool
+
+func run(name string, quick bool) error {
+	var (
+		res checker
+		err error
+	)
+	switch name {
+	case "fig2":
+		cfg := experiments.DefaultFigure2Config()
+		if quick {
+			cfg.Iters, cfg.Nops = 1500, 120
+		}
+		res, err = experiments.Figure2(cfg)
+	case "fig3":
+		cfg := experiments.DefaultFigure3Config()
+		if quick {
+			cfg.Scale = 300_000
+			cfg.Intervals = []float64{50, 500}
+		}
+		res, err = experiments.Figure3(cfg)
+	case "fig6":
+		cfg := experiments.DefaultFigure6Config()
+		if quick {
+			cfg.Scale = 120_000
+			cfg.Eval.MaxInst = 120_000
+			cfg.Benchmarks = []string{"compress", "gcc"}
+			cfg.GeneratedSeeds = []uint64{11}
+		}
+		res, err = experiments.Figure6(cfg)
+	case "fig7":
+		cfg := experiments.DefaultFigure7Config()
+		if quick {
+			cfg.Iters = 6000
+		}
+		res, err = experiments.Figure7(cfg)
+	case "table1":
+		cfg := experiments.DefaultTable1Config()
+		if quick {
+			cfg.Iters = 6000
+		}
+		res, err = experiments.Table1(cfg)
+	case "sec6":
+		cfg := experiments.DefaultSection6Config()
+		if quick {
+			cfg.Scale = 120_000
+		}
+		res, err = experiments.Section6(cfg)
+	case "blindspot":
+		cfg := experiments.DefaultBlindSpotConfig()
+		if quick {
+			cfg.Iters = 8000
+		}
+		res, err = experiments.BlindSpot(cfg)
+	case "ww":
+		cfg := experiments.DefaultWWConfig()
+		if quick {
+			cfg.Scale = 600_000
+			cfg.Period = 4
+		}
+		res, err = experiments.WW(cfg)
+	case "multiproc":
+		cfg := experiments.DefaultMultiprocessConfig()
+		if quick {
+			cfg.Scale = 120_000
+		}
+		res, err = experiments.Multiprocess(cfg)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	if err != nil {
+		return err
+	}
+	if csvOut {
+		fmt.Print(res.CSV())
+		return res.Check()
+	}
+	fmt.Print(res.Render())
+	if err := res.Check(); err != nil {
+		fmt.Printf("shape check: FAILED: %v\n", err)
+		return err
+	}
+	fmt.Printf("shape check: ok\n")
+	return nil
+}

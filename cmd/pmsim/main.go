@@ -1,0 +1,235 @@
+// Command pmsim runs a workload on the out-of-order timing simulator with
+// ProfileMe instruction sampling attached, and prints the run summary and
+// the hot-instruction profile the sampling software accumulated.
+//
+// Examples:
+//
+//	pmsim -bench compress                  # profile the compress kernel
+//	pmsim -bench li -scale 500000 -top 20  # a bigger run, longer report
+//	pmsim -gen 42                          # profile a generated program
+//	pmsim -bench ijpeg -paired             # paired sampling + concurrency
+//	pmsim -bench go -inorder               # 21164-like in-order pipeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"profileme/internal/core"
+	"profileme/internal/cpu"
+	"profileme/internal/isa"
+	"profileme/internal/profile"
+	"profileme/internal/sim"
+	"profileme/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "suite benchmark to run ("+strings.Join(workload.Names(), ", ")+")")
+		genSeed   = flag.Uint64("gen", 0, "run a generated program with this seed instead of a suite benchmark")
+		scale     = flag.Int("scale", 200_000, "approximate dynamic instruction count")
+		interval  = flag.Float64("interval", 512, "mean sampling interval (fetched instructions)")
+		paired    = flag.Bool("paired", false, "enable paired sampling")
+		ways      = flag.Int("ways", 0, "N-way sampling (0/1 single; 2 = paired; up to 8)")
+		window    = flag.Int("window", 80, "paired-sampling window W")
+		buffer    = flag.Int("buffer", 8, "samples buffered per interrupt")
+		countMode = flag.String("count", "instructions", "selection counting: instructions | opportunities")
+		intMode   = flag.String("randomize", "geometric", "interval randomization: geometric | uniform | fixed")
+		top       = flag.Int("top", 15, "hot instructions to print")
+		inorder   = flag.Bool("inorder", false, "use the in-order (21164-like) configuration")
+		disasm    = flag.Bool("disasm", false, "print the program disassembly before running")
+		byProc    = flag.Bool("proc", false, "also print the per-procedure rollup")
+		edges     = flag.Bool("edges", false, "also print the paired-sample edge profile (implies -paired)")
+		saveTo    = flag.String("save", "", "save the profile database to a file")
+		list      = flag.Bool("list", false, "list the suite benchmarks and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, b := range workload.Suite() {
+			fmt.Printf("%-10s %s\n", b.Name, b.Notes)
+		}
+		return
+	}
+	if *edges {
+		*paired = true
+	}
+
+	prog, name, err := pickProgram(*benchName, *genSeed, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *disasm {
+		fmt.Print(prog.Disassemble())
+	}
+
+	ccfg := cpu.DefaultConfig()
+	if *inorder {
+		ccfg = cpu.InOrderConfig()
+	}
+	cm := core.CountInstructions
+	if *countMode == "opportunities" {
+		cm = core.CountFetchOpportunities
+	}
+	im := core.IntervalGeometric
+	switch *intMode {
+	case "uniform":
+		im = core.IntervalUniform
+	case "fixed":
+		im = core.IntervalFixed
+	}
+	ucfg := core.Config{
+		Paired:       *paired,
+		Ways:         *ways,
+		MeanInterval: *interval,
+		Window:       *window,
+		BufferDepth:  *buffer,
+		CountMode:    cm,
+		IntervalMode: im,
+		Seed:         1,
+	}
+	unit, err := core.NewUnit(ucfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	db := profile.NewDB(*interval, *window, ccfg.SustainedIssueWidth)
+	edgeDB := profile.NewEdgeProfile(*interval, *window)
+
+	src := sim.NewMachineSource(sim.New(prog), 0)
+	pipe, err := cpu.New(prog, src, ccfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	dbHandler := db.Handler()
+	edgeHandler := edgeDB.Handler()
+	pipe.AttachProfileMe(unit, func(ss []core.Sample) {
+		dbHandler(ss)
+		if *edges {
+			edgeHandler(ss)
+		}
+	})
+	res, err := pipe.Run(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := src.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	printSummary(name, res, pipe, unit)
+	// Scale estimates by the realized interval.
+	if db.Samples() > 0 {
+		db.S = float64(res.FetchedOnPath) / float64(db.Samples())
+	}
+	fmt.Println()
+	fmt.Print(db.Report(prog, *top))
+	if *byProc {
+		fmt.Println("\nper-procedure rollup:")
+		fmt.Print(profile.ProcReport(db, prog))
+	}
+	if *paired {
+		printConcurrency(db, prog, *top)
+	}
+	if *edges {
+		fmt.Println()
+		fmt.Print(edgeDB.Report(prog, *top))
+	}
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := db.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nprofile database saved to %s\n", *saveTo)
+	}
+}
+
+func pickProgram(bench string, genSeed uint64, scale int) (*isa.Program, string, error) {
+	if genSeed != 0 {
+		gc := workload.DefaultGenConfig()
+		gc.Seed = genSeed
+		gc.MainIters = scale / 250
+		return workload.Generate(gc), fmt.Sprintf("generated(seed=%d)", genSeed), nil
+	}
+	if bench == "" {
+		return nil, "", fmt.Errorf("pmsim: pass -bench <name> or -gen <seed>; benchmarks: %s",
+			strings.Join(workload.Names(), ", "))
+	}
+	b, ok := workload.ByName(bench)
+	if !ok {
+		return nil, "", fmt.Errorf("pmsim: unknown benchmark %q", bench)
+	}
+	return b.Build(scale), bench, nil
+}
+
+func printSummary(name string, res cpu.Result, pipe *cpu.Pipeline, unit *core.Unit) {
+	fmt.Printf("%s: %d instructions retired in %d cycles (IPC %.2f, CPI %.2f)\n",
+		name, res.Retired, res.Cycles, res.IPC(), res.CPI())
+	fmt.Printf("fetched: %d on-path, %d wrong-path, %d empty slots\n",
+		res.FetchedOnPath, res.FetchedOffPath, res.EmptyFetchSlots)
+	fmt.Printf("mispredicts: %d   replay traps: %d\n", res.Mispredicts, res.ReplayTraps)
+	lk, mp := pipe.Predictor().Accuracy()
+	if lk > 0 {
+		fmt.Printf("branch accuracy: %.2f%% of %d resolved\n", 100*(1-float64(mp)/float64(lk)), lk)
+	}
+	dc := pipe.Hierarchy().DCache()
+	if acc, miss := dc.Stats(); acc > 0 {
+		fmt.Printf("dcache: %d accesses, %.2f%% miss\n", acc, 100*float64(miss)/float64(acc))
+	}
+	st := unit.Stats()
+	fmt.Printf("profileme: %d samples (%d off-path, %d empty), %d interrupts, %d stall cycles (%.2f%% of run)\n",
+		st.SamplesBuffered, st.OffPath, st.EmptySelected, res.Interrupts, res.InterruptStall,
+		100*float64(res.InterruptStall)/float64(res.Cycles))
+}
+
+func printConcurrency(db *profile.DB, prog *isa.Program, top int) {
+	fmt.Println("\npaired-sampling concurrency metrics (top instructions by wasted slots):")
+	fmt.Printf("%-12s %-24s %12s %12s %12s %8s\n",
+		"pc", "instruction", "wasted", "total-slots", "useful", "nearIPC")
+	type row struct {
+		pc                    uint64
+		wasted, total, useful float64
+		ipc                   float64
+	}
+	var rows []row
+	for _, pc := range db.PCs() {
+		w, t, u, ok := db.WastedSlots(pc)
+		if !ok {
+			continue
+		}
+		ipc, _ := db.NeighborhoodIPC(pc)
+		rows = append(rows, row{pc, w, t, u, ipc})
+	}
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].wasted > rows[i].wasted {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	if len(rows) > top {
+		rows = rows[:top]
+	}
+	for _, r := range rows {
+		dis := ""
+		if in, ok := prog.At(r.pc); ok {
+			dis = in.String()
+		}
+		fmt.Printf("%-12s %-24s %12.0f %12.0f %12.0f %8.2f\n",
+			prog.SymbolFor(r.pc), dis, r.wasted, r.total, r.useful, r.ipc)
+	}
+}

@@ -1,0 +1,3 @@
+module profileme
+
+go 1.22

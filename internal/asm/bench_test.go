@@ -1,0 +1,11 @@
+package asm
+
+import "testing"
+
+func BenchmarkAssemble(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble(loopSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

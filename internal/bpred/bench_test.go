@@ -1,0 +1,24 @@
+package bpred
+
+import "testing"
+
+func BenchmarkPredictAndUpdate(b *testing.B) {
+	p := MustNew(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i%64) * 4
+		h := p.History()
+		taken := i%3 != 0
+		p.PredictCond(pc)
+		p.PushHistory(taken)
+		p.UpdateCond(pc, taken, h)
+	}
+}
+
+func BenchmarkBTB(b *testing.B) {
+	p := MustNew(DefaultConfig())
+	p.BTBUpdate(0x100, 0x400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.BTBLookup(0x100)
+	}
+}

@@ -1,0 +1,461 @@
+package core
+
+import (
+	"fmt"
+
+	"profileme/internal/stats"
+)
+
+// CountMode selects what the fetched-instruction counter decrements on
+// (§4.1.1 discusses the tradeoff).
+type CountMode uint8
+
+const (
+	// CountInstructions decrements once per instruction fetched on the
+	// predicted control path. Every selection lands on a real
+	// predicted-path instruction, but the hardware is more complex.
+	CountInstructions CountMode = iota
+	// CountFetchOpportunities decrements once per fetch opportunity
+	// (FetchWidth per cycle). Simpler hardware, but selections may land
+	// on empty slots or instructions outside the predicted path,
+	// reducing useful sample yield — the paper leaves the choice open
+	// and this implementation supports both for the ablation.
+	CountFetchOpportunities
+)
+
+// String returns the mode name.
+func (m CountMode) String() string {
+	switch m {
+	case CountInstructions:
+		return "instructions"
+	case CountFetchOpportunities:
+		return "fetch-opportunities"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// IntervalMode selects how sampling intervals are randomized.
+type IntervalMode uint8
+
+const (
+	// IntervalGeometric draws geometric intervals: every fetch is
+	// selected independently with probability 1/mean. Unbiased and
+	// alias-free; the default.
+	IntervalGeometric IntervalMode = iota
+	// IntervalUniform draws uniformly from [1, 2*mean-1]. Also unbiased.
+	IntervalUniform
+	// IntervalFixed uses the constant interval mean. Biased: it aliases
+	// with loop periods. Exists for the randomization ablation.
+	IntervalFixed
+)
+
+// String returns the mode name.
+func (m IntervalMode) String() string {
+	switch m {
+	case IntervalGeometric:
+		return "geometric"
+	case IntervalUniform:
+		return "uniform"
+	case IntervalFixed:
+		return "fixed"
+	default:
+		return fmt.Sprintf("interval(%d)", uint8(m))
+	}
+}
+
+// Config parameterizes a ProfileMe Unit.
+type Config struct {
+	// Paired enables paired sampling (two register sets, §4.2).
+	Paired bool
+	// Ways generalizes to N-way sampling (§4.1.2: the tag needs
+	// ceil(log2(N+1)) bits and N Profile Register sets): each sample
+	// carries Ways records, consecutive selections separated by
+	// independent uniform [1, Window] minor intervals. 0 and 1 mean
+	// single-instruction sampling; 2 is equivalent to Paired. Setting
+	// Paired with Ways <= 1 implies Ways = 2.
+	Ways int
+	// MeanInterval is the mean major sampling interval S, in fetched
+	// instructions (or fetch opportunities, per CountMode).
+	MeanInterval float64
+	// Window is W, the width of the minor (intra-pair) interval: the
+	// second instruction of a pair is selected uniformly 1..Window
+	// fetches after the first. It should cover the maximum number of
+	// in-flight instructions (§5.2.1).
+	Window int
+	// BufferDepth is the number of completed samples buffered before an
+	// interrupt is raised (§4.3). 1 means interrupt per sample.
+	BufferDepth int
+	// CountMode selects instruction vs fetch-opportunity counting.
+	CountMode CountMode
+	// IntervalMode selects the interval randomization.
+	IntervalMode IntervalMode
+	// Seed seeds the interval generator (stands in for the software
+	// writing pseudo-random values into the fetched-instruction counter).
+	Seed uint64
+}
+
+// DefaultConfig returns single-instruction sampling with a mean interval
+// of 4096 fetched instructions and per-sample interrupts.
+func DefaultConfig() Config {
+	return Config{
+		MeanInterval: 4096,
+		Window:       80,
+		BufferDepth:  1,
+		CountMode:    CountInstructions,
+		IntervalMode: IntervalGeometric,
+		Seed:         1,
+	}
+}
+
+// ways returns the normalized record count per sample.
+func (c Config) ways() int {
+	w := c.Ways
+	if w < 1 {
+		w = 1
+	}
+	if c.Paired && w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// MaxWays bounds N-way sampling: the hardware cost is Ways register sets,
+// so implementations keep it tiny (the paper builds one or two).
+const MaxWays = 8
+
+// Validate reports a configuration problem, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.MeanInterval < 1:
+		return fmt.Errorf("core: mean interval %v < 1", c.MeanInterval)
+	case c.BufferDepth < 1:
+		return fmt.Errorf("core: buffer depth %d < 1", c.BufferDepth)
+	case c.ways() > MaxWays:
+		return fmt.Errorf("core: %d-way sampling exceeds the %d-way hardware bound", c.ways(), MaxWays)
+	case c.ways() > 1 && c.Window < 1:
+		return fmt.Errorf("core: multi-way sampling needs a positive window")
+	}
+	return nil
+}
+
+// Stats counts what the Unit observed; used to quantify sample yield and
+// interrupt amortization.
+type Stats struct {
+	Selected        uint64 // fetch opportunities selected for profiling
+	EmptySelected   uint64 // selections that held no instruction
+	OffPath         uint64 // selections that held a bad-path instruction
+	SamplesBuffered uint64 // completed samples pushed to the buffer
+	SamplesDropped  uint64 // samples lost because the buffer was full
+	Interrupts      uint64 // interrupts raised
+}
+
+// Unit is the per-processor ProfileMe hardware. The pipeline drives it;
+// profiling software drains it. Not safe for concurrent use (it is
+// clocked by a single simulated pipeline).
+type Unit struct {
+	cfg  Config
+	ways int
+	rng  *stats.RNG
+
+	counter  int64 // fetched-instruction counter; selection at zero
+	minor    int64 // intra-sample counter toward the next selection
+	nextSel  int   // index of the next tag to select; == ways when all selected
+	fetchSeq uint64
+
+	recs []Record
+	live []bool // tag selected
+	done []bool // tag complete (retired or aborted)
+
+	buffer    []Sample
+	interrupt bool
+	stats     Stats
+}
+
+// NewUnit returns an armed Unit.
+func NewUnit(cfg Config) (*Unit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := cfg.ways()
+	u := &Unit{
+		cfg: cfg, ways: w, rng: stats.NewRNG(cfg.Seed),
+		recs: make([]Record, w), live: make([]bool, w), done: make([]bool, w),
+	}
+	u.arm()
+	return u, nil
+}
+
+// Ways returns the number of records per sample.
+func (u *Unit) Ways() int { return u.ways }
+
+// MustNewUnit is NewUnit, panicking on error.
+func MustNewUnit(cfg Config) *Unit {
+	u, err := NewUnit(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Config returns the Unit's configuration.
+func (u *Unit) Config() Config { return u.cfg }
+
+// Stats returns the Unit's counters.
+func (u *Unit) Stats() Stats { return u.stats }
+
+// arm draws a fresh major interval and resets per-sample state. In real
+// hardware the interrupt handler writes the counter; with buffering the
+// hardware re-arms itself (§4.3) — the Unit's internal generator models
+// both.
+func (u *Unit) arm() {
+	u.counter = int64(u.drawMajor())
+	u.nextSel = 0
+	for i := 0; i < u.ways; i++ {
+		u.live[i], u.done[i] = false, false
+	}
+}
+
+func (u *Unit) drawMajor() int {
+	switch u.cfg.IntervalMode {
+	case IntervalUniform:
+		return u.rng.UniformInterval(int(u.cfg.MeanInterval))
+	case IntervalFixed:
+		return int(u.cfg.MeanInterval)
+	default:
+		return u.rng.Geometric(u.cfg.MeanInterval)
+	}
+}
+
+// Tag values: NoTag means "not profiled".
+const NoTag = -1
+
+// OnFetch presents one fetch opportunity to the Unit and returns the
+// ProfileMe tag assigned to it, or NoTag. The pipeline must call this for
+// every fetch opportunity, in order:
+//
+//	cycle     — current cycle
+//	pc        — PC of the slot (meaningful when hasInst)
+//	hasInst   — the slot holds an instruction
+//	onPath    — the instruction is on the predicted control path
+//	history   — global branch history register at this fetch
+//	context   — address space / thread id
+//
+// In CountInstructions mode only on-path instruction slots decrement the
+// counter; in CountFetchOpportunities mode every opportunity does.
+func (u *Unit) OnFetch(cycle int64, pc uint64, hasInst, onPath bool, history uint64, historyBits int, context uint64) int {
+	counts := hasInst && onPath
+	if u.cfg.CountMode == CountFetchOpportunities {
+		counts = true
+	}
+	if counts {
+		// fetchSeq counts the same units the selection counter does, so
+		// fetch distances between records are in those units: a pair at
+		// FetchDistance 1 is two consecutively fetched (predicted-path)
+		// instructions regardless of wrong-path fetches or fetch bubbles
+		// in between.
+		u.fetchSeq++
+	}
+	if u.nextSel >= u.ways || !counts {
+		return NoTag
+	}
+
+	if u.nextSel == 0 {
+		u.counter--
+		if u.counter > 0 {
+			return NoTag
+		}
+	} else {
+		u.minor--
+		if u.minor > 0 {
+			return NoTag
+		}
+	}
+	tag := u.nextSel
+
+	u.stats.Selected++
+	r := newRecord()
+	r.Context = context
+	r.PC = pc
+	r.History = history
+	r.HistoryBits = historyBits
+	r.StageCycle[StageFetch] = cycle
+	r.FetchSeq = u.fetchSeq
+	switch {
+	case !hasInst:
+		r.Events |= EvNoInstruction
+		u.stats.EmptySelected++
+	case !onPath:
+		r.Events |= EvOffPath
+		u.stats.OffPath++
+	}
+	u.recs[tag] = r
+	u.live[tag] = true
+	u.done[tag] = false
+
+	u.nextSel++
+	if u.nextSel < u.ways {
+		u.minor = int64(u.rng.IntRange(1, u.cfg.Window))
+	}
+
+	// An empty slot has nothing to track through the pipeline: complete
+	// it immediately as an aborted sample.
+	if !hasInst {
+		u.Complete(tag, false, TrapNone, cycle)
+	}
+	return tag
+}
+
+// validTag reports whether tag names a live record.
+func (u *Unit) validTag(tag int) bool {
+	return tag >= 0 && tag < u.ways && u.live[tag]
+}
+
+// SetStage records the cycle the tagged instruction reached a stage.
+func (u *Unit) SetStage(tag int, st Stage, cycle int64) {
+	if !u.validTag(tag) {
+		return
+	}
+	u.recs[tag].StageCycle[st] = cycle
+}
+
+// AddEvents ORs event bits into the tagged instruction's event register.
+func (u *Unit) AddEvents(tag int, ev Event) {
+	if !u.validTag(tag) {
+		return
+	}
+	u.recs[tag].Events |= ev
+}
+
+// SetAddr records the effective address (loads/stores) or indirect target.
+func (u *Unit) SetAddr(tag int, addr uint64) {
+	if !u.validTag(tag) {
+		return
+	}
+	u.recs[tag].Addr = addr
+	u.recs[tag].AddrValid = true
+}
+
+// SetLoadComplete records when a load's value arrived.
+func (u *Unit) SetLoadComplete(tag int, cycle int64) {
+	if !u.validTag(tag) {
+		return
+	}
+	u.recs[tag].LoadComplete = cycle
+}
+
+// Complete marks the tagged instruction finished: retired, or aborted with
+// a reason. When every selected instruction of the current sample is
+// finished, the sample moves to the buffer and, if the buffer has reached
+// BufferDepth, the interrupt line is raised.
+func (u *Unit) Complete(tag int, retired bool, reason TrapReason, cycle int64) {
+	if !u.validTag(tag) || u.done[tag] {
+		return
+	}
+	r := &u.recs[tag]
+	r.StageCycle[StageRetire] = cycle
+	if retired {
+		r.Events |= EvRetired
+		r.Trap = TrapNone
+	} else {
+		r.Trap = reason
+	}
+	u.done[tag] = true
+
+	if u.sampleFinished() {
+		u.capture()
+	}
+}
+
+// sampleFinished reports whether every instruction selected for the
+// current sample has completed. While a later selection is still pending
+// the sample is not finished: the interrupt must wait for all records
+// (§4.2).
+func (u *Unit) sampleFinished() bool {
+	if u.nextSel < u.ways {
+		return false
+	}
+	any := false
+	for tag := 0; tag < u.ways; tag++ {
+		if u.live[tag] {
+			any = true
+			if !u.done[tag] {
+				return false
+			}
+		}
+	}
+	return any
+}
+
+// capture moves the finished sample into the buffer and re-arms.
+func (u *Unit) capture() {
+	s := Sample{First: u.recs[0]}
+	if u.ways > 1 && u.live[1] {
+		s.Paired = true
+		s.Second = u.recs[1]
+		s.FetchDistance = u.recs[1].FetchSeq - u.recs[0].FetchSeq
+		s.FetchLatency = u.recs[1].StageCycle[StageFetch] - u.recs[0].StageCycle[StageFetch]
+		for tag := 2; tag < u.ways; tag++ {
+			if !u.live[tag] {
+				break
+			}
+			prev := &u.recs[tag-1]
+			s.Rest = append(s.Rest, u.recs[tag])
+			s.RestDistances = append(s.RestDistances, u.recs[tag].FetchSeq-prev.FetchSeq)
+			s.RestLatencies = append(s.RestLatencies,
+				u.recs[tag].StageCycle[StageFetch]-prev.StageCycle[StageFetch])
+		}
+	}
+	if len(u.buffer) >= u.cfg.BufferDepth {
+		// Buffer full and software has not drained: hardware drops the
+		// sample (real designs stall sampling; dropping is equivalent
+		// for statistics and simpler).
+		u.stats.SamplesDropped++
+	} else {
+		u.buffer = append(u.buffer, s)
+		u.stats.SamplesBuffered++
+	}
+	if len(u.buffer) >= u.cfg.BufferDepth && !u.interrupt {
+		u.interrupt = true
+		u.stats.Interrupts++
+	}
+	u.arm()
+}
+
+// FlushInFlight aborts any selected-but-unfinished instructions (end of
+// run or pipeline drain) so their partial records are still delivered.
+func (u *Unit) FlushInFlight(cycle int64) {
+	changed := false
+	for tag := 0; tag < u.ways; tag++ {
+		if u.live[tag] && !u.done[tag] {
+			u.recs[tag].StageCycle[StageRetire] = cycle
+			u.recs[tag].Trap = TrapNeverDone
+			u.done[tag] = true
+			changed = true
+		}
+	}
+	if u.nextSel > 0 && u.nextSel < u.ways {
+		// Later selections never happened; deliver what was captured.
+		u.nextSel = u.ways
+		changed = true
+	}
+	if changed && u.sampleFinished() {
+		u.capture()
+	}
+}
+
+// InterruptPending reports whether the interrupt line is raised.
+func (u *Unit) InterruptPending() bool { return u.interrupt }
+
+// Drain returns the buffered samples and lowers the interrupt line: the
+// profiling software's read of the Profile Registers.
+func (u *Unit) Drain() []Sample {
+	out := u.buffer
+	u.buffer = nil
+	u.interrupt = false
+	return out
+}
+
+// Pending returns how many samples are buffered (for tests and yield
+// accounting) without draining them.
+func (u *Unit) Pending() int { return len(u.buffer) }

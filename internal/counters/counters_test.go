@@ -1,0 +1,112 @@
+package counters
+
+import "testing"
+
+func TestAggregateCounting(t *testing.T) {
+	u := New(Config{}, nil)
+	u.Event(EventDCacheRef, 0)
+	u.Event(EventDCacheRef, 1)
+	u.Event(EventDCacheMiss, 1)
+	if u.Count(EventDCacheRef) != 2 || u.Count(EventDCacheMiss) != 1 {
+		t.Fatalf("counts wrong")
+	}
+	if u.Count(EventRetired) != 0 {
+		t.Fatal("unused counter nonzero")
+	}
+}
+
+func TestOverflowInterruptWithSkid(t *testing.T) {
+	var got []uint64
+	u := New(Config{Monitor: EventDCacheRef, Period: 2, Skid: 6},
+		func(pc uint64) { got = append(got, pc) })
+
+	u.Event(EventDCacheRef, 10)
+	if u.Tick(10, 0x100) {
+		t.Fatal("interrupt before overflow")
+	}
+	u.Event(EventDCacheRef, 11) // overflow at 11, recognized at 17
+	for c := int64(11); c < 17; c++ {
+		if u.Tick(c, 0x200) {
+			t.Fatalf("interrupt recognized early at %d", c)
+		}
+	}
+	if !u.Tick(17, 0x300) {
+		t.Fatal("interrupt not recognized at skid expiry")
+	}
+	if len(got) != 1 || got[0] != 0x300 {
+		t.Fatalf("delivered PCs = %v", got)
+	}
+	if u.Delivered() != 1 {
+		t.Fatal("delivery count")
+	}
+}
+
+func TestOnlyMonitoredEventOverflows(t *testing.T) {
+	u := New(Config{Monitor: EventDCacheMiss, Period: 1, Skid: 0}, func(uint64) {})
+	u.Event(EventDCacheRef, 5)
+	if u.Tick(5, 0) {
+		t.Fatal("non-monitored event raised interrupt")
+	}
+	u.Event(EventDCacheMiss, 6)
+	if !u.Tick(6, 0) {
+		t.Fatal("monitored event did not raise interrupt")
+	}
+}
+
+func TestNoDoubleArmWhilePending(t *testing.T) {
+	u := New(Config{Monitor: EventRetired, Period: 1, Skid: 10}, func(uint64) {})
+	u.Event(EventRetired, 0) // arms, recognized at 10
+	u.Event(EventRetired, 1) // while pending: counted but not re-armed
+	n := 0
+	for c := int64(0); c < 30; c++ {
+		if u.Tick(c, 0) {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("delivered %d interrupts", n)
+	}
+	if u.Count(EventRetired) != 2 {
+		t.Fatal("aggregate count lost")
+	}
+}
+
+func TestPeriodZeroNeverInterrupts(t *testing.T) {
+	u := New(Config{Monitor: EventRetired, Period: 0, Skid: 0}, func(uint64) {
+		t.Fatal("handler called")
+	})
+	for i := int64(0); i < 100; i++ {
+		u.Event(EventRetired, i)
+		u.Tick(i, 0)
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	if EventDCacheRef.String() != "dcache-ref" || EventRetired.String() != "retired" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestSkidJitterVariesRecognition(t *testing.T) {
+	delays := map[int64]bool{}
+	u := New(Config{Monitor: EventRetired, Period: 1, Skid: 6, SkidJitter: 8, Seed: 3},
+		func(uint64) {})
+	cycle := int64(0)
+	for i := 0; i < 200; i++ {
+		u.Event(EventRetired, cycle)
+		armed := cycle
+		for !u.Tick(cycle, 0) {
+			cycle++
+		}
+		delays[cycle-armed] = true
+		cycle++
+	}
+	if len(delays) < 4 {
+		t.Fatalf("jitter produced only %d distinct delays", len(delays))
+	}
+	for d := range delays {
+		if d < 6 || d > 14 {
+			t.Fatalf("delay %d outside skid+jitter range", d)
+		}
+	}
+}

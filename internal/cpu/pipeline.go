@@ -1,0 +1,1089 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"profileme/internal/bpred"
+	"profileme/internal/core"
+	"profileme/internal/counters"
+	"profileme/internal/isa"
+	"profileme/internal/mem"
+	"profileme/internal/sim"
+)
+
+type uopState uint8
+
+const (
+	stFetched uopState = iota
+	stMapped
+	stIssued
+	stCompleted
+	stRetired
+	stSquashed
+)
+
+// uop is one in-flight instruction.
+type uop struct {
+	seq    uint64 // fetch order, including wrong-path instructions
+	pc     uint64
+	inst   isa.Inst
+	class  isa.Class
+	onPath bool
+	rec    sim.Record // valid iff onPath
+
+	tag int // ProfileMe tag, or core.NoTag
+
+	// Rename state.
+	src     [2]pregID
+	nsrc    int
+	dst     pregID
+	oldDst  pregID
+	archDst isa.Reg
+
+	// Prediction state (control instructions).
+	predNext    uint64
+	predTaken   bool
+	mispred     bool // on-path only: predicted next PC != actual
+	histAtFetch uint64
+	rasAfter    int // RAS depth after this instruction's fetch-time effect
+
+	// Timing.
+	fetchCyc, mapCyc, readyCyc, issueCyc, completeCyc, retireCyc int64
+	valueCyc                                                     int64  // loads: value arrival
+	dstGen                                                       uint32 // dst generation at allocation
+
+	state  uopState
+	events core.Event
+	trap   core.TrapReason
+	fp     bool
+	ea     uint64
+	eaOK   bool
+}
+
+// Pipeline is the timing simulator for one program run.
+type Pipeline struct {
+	cfg  Config
+	prog *isa.Program
+	win  *traceWindow
+	pred *bpred.Predictor
+	hier *mem.Hierarchy
+	ren  *renamer
+
+	rob      []*uop // ring buffer
+	robHead  int
+	robCount int
+	iqInt    []*uop
+	iqFP     []*uop
+	fetchBuf []*uop
+
+	// Fetch state.
+	nextSeq         uint64
+	offPath         bool
+	offPC           uint64
+	fetchStallUntil int64
+	fetchLine       uint64 // current I-cache line (+1; 0 = none)
+	pendingFetchEv  core.Event
+	traceDone       bool
+
+	cycle      int64
+	seqCounter uint64
+
+	completing map[int64][]*uop
+	wakeups    map[int64][]*uop
+	divBusy    int64
+
+	prof        *core.Unit
+	profHandler func([]core.Sample)
+	ctrs        *counters.Unit
+
+	iqDirty bool // a squash left dead entries in the issue queues
+
+	iid *IIDSampler // optional Westcott & White baseline sampler (§8)
+
+	finished bool // finish() ran (guards double finalization)
+
+	res    Result
+	pcs    *perPC
+	wasted *wastedTracker
+	ipc    *ipcWindows
+}
+
+// New builds a pipeline for prog, consuming the correct-path stream src.
+func New(prog *isa.Program, src sim.Source, cfg Config) (*Pipeline, error) {
+	return NewWithHierarchy(prog, src, cfg, nil)
+}
+
+// NewWithHierarchy builds a pipeline that charges memory accesses against
+// an externally owned hierarchy (nil means a private one). Sharing a
+// hierarchy between pipelines models time-sliced processes contending for
+// the same caches and TLBs.
+func NewWithHierarchy(prog *isa.Program, src sim.Source, cfg Config, hier *mem.Hierarchy) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if hier == nil {
+		hier = mem.NewHierarchy(cfg.Mem)
+	}
+	p := &Pipeline{
+		cfg:        cfg,
+		prog:       prog,
+		win:        newTraceWindow(src),
+		pred:       bpred.MustNew(cfg.Bpred),
+		hier:       hier,
+		ren:        newRenamer(cfg.PhysRegs),
+		rob:        make([]*uop, cfg.ROBSize),
+		completing: make(map[int64][]*uop),
+		wakeups:    make(map[int64][]*uop),
+	}
+	if cfg.TrackPerPC {
+		p.pcs = newPerPC(prog.Len())
+	}
+	if cfg.TrackWastedSlots {
+		p.wasted = newWastedTracker(cfg.SustainedIssueWidth, p.wastedSink)
+	}
+	if cfg.TrackWindowedIPC {
+		p.ipc = newIPCWindows(int64(cfg.IPCWindowCycles))
+	}
+	return p, nil
+}
+
+// AttachProfileMe plugs the ProfileMe unit into the pipeline. handler is
+// the profiling software's interrupt handler; it runs when the unit's
+// interrupt is delivered, and fetch is frozen for Config.InterruptCost
+// cycles to model the delivery cost.
+func (p *Pipeline) AttachProfileMe(u *core.Unit, handler func([]core.Sample)) {
+	p.prof = u
+	p.profHandler = handler
+}
+
+// AttachCounters plugs baseline event-counter hardware into the pipeline.
+func (p *Pipeline) AttachCounters(u *counters.Unit) { p.ctrs = u }
+
+// Hierarchy exposes the memory hierarchy (tests, cache-warming).
+func (p *Pipeline) Hierarchy() *mem.Hierarchy { return p.hier }
+
+// Predictor exposes the branch predictor (tests).
+func (p *Pipeline) Predictor() *bpred.Predictor { return p.pred }
+
+// PerPC returns the ground-truth per-instruction statistics (nil unless
+// Config.TrackPerPC).
+func (p *Pipeline) PerPC() []PCStats {
+	if p.pcs == nil {
+		return nil
+	}
+	return p.pcs.stats
+}
+
+// IPCWindows returns per-window retire counts (nil unless
+// Config.TrackWindowedIPC).
+func (p *Pipeline) IPCWindows() []uint32 {
+	if p.ipc == nil {
+		return nil
+	}
+	return p.ipc.Windows()
+}
+
+// ErrCycleLimit reports that Run hit its cycle budget before the program
+// drained.
+var ErrCycleLimit = errors.New("cpu: cycle limit reached")
+
+// Run simulates until the instruction stream is exhausted and the pipeline
+// has drained, or maxCycles elapse (maxCycles <= 0 means no limit).
+func (p *Pipeline) Run(maxCycles int64) (Result, error) {
+	for {
+		if p.done() {
+			break
+		}
+		if maxCycles > 0 && p.cycle >= maxCycles {
+			p.finish()
+			return p.res, fmt.Errorf("%w (%d)", ErrCycleLimit, maxCycles)
+		}
+		p.step()
+	}
+	p.finish()
+	return p.res, nil
+}
+
+// RunFor advances the pipeline by up to cycles cycles and pauses without
+// finalizing, so a scheduler can time-slice several pipelines (a frozen
+// pipeline keeps all in-flight state). It reports whether the program has
+// drained. After the last quantum, call Finish for the result.
+func (p *Pipeline) RunFor(cycles int64) bool {
+	target := p.cycle + cycles
+	for p.cycle < target && !p.done() {
+		p.step()
+	}
+	return p.done()
+}
+
+// Finish finalizes a RunFor-driven simulation (flushing pending profile
+// state) and returns the result. Run calls it implicitly.
+func (p *Pipeline) Finish() Result {
+	p.finish()
+	return p.res
+}
+
+// Cycle returns the pipeline's current cycle.
+func (p *Pipeline) Cycle() int64 { return p.cycle }
+
+func (p *Pipeline) done() bool {
+	return p.traceDone && !p.offPath && p.robCount == 0 && len(p.fetchBuf) == 0
+}
+
+func (p *Pipeline) finish() {
+	if p.finished {
+		return
+	}
+	p.finished = true
+	p.res.Cycles = p.cycle
+	if p.prof != nil {
+		// Retired loads whose value is still in flight have deferred
+		// sample completion (§4.1.4): let those signals land before the
+		// final flush so their records show the true retirement.
+		for cyc, ws := range p.wakeups {
+			for _, u := range ws {
+				if u.state == stRetired && u.tag != core.NoTag {
+					p.prof.SetLoadComplete(u.tag, cyc)
+					p.prof.Complete(u.tag, true, core.TrapNone, u.retireCyc)
+					u.tag = core.NoTag
+				}
+			}
+		}
+		p.prof.FlushInFlight(p.cycle)
+		// Drain even a partially filled buffer: the tail samples of the
+		// run would otherwise never reach software.
+		if p.prof.InterruptPending() || p.prof.Pending() > 0 {
+			p.deliverProfileInterrupt()
+		}
+	}
+	if p.wasted != nil {
+		p.wasted.flush()
+	}
+}
+
+// step advances one cycle: complete, retire, issue, map, fetch, interrupts.
+func (p *Pipeline) step() {
+	p.completeStage()
+	p.retireStage()
+	p.issueStage()
+	p.mapStage()
+	p.fetchStage()
+	p.interruptStage()
+	if p.wasted != nil {
+		p.wasted.advance(p.cycle)
+	}
+	p.cycle++
+}
+
+// ---------------------------------------------------------------- fetch --
+
+func (p *Pipeline) fetchStage() {
+	if p.cycle < p.fetchStallUntil {
+		p.presentEmpty(p.cfg.FetchWidth)
+		return
+	}
+	lineMask := ^uint64(p.cfg.Mem.ICache.LineBytes - 1)
+	slots := 0
+	for slots < p.cfg.FetchWidth {
+		if len(p.fetchBuf) >= p.cfg.FetchBuf {
+			p.presentEmpty(p.cfg.FetchWidth - slots)
+			return
+		}
+		pc, rec, haveInst := p.nextFetchPC()
+		if !haveInst {
+			p.presentEmpty(p.cfg.FetchWidth - slots)
+			return
+		}
+		// Instruction cache: one access per line transition.
+		if p.fetchLine != (pc&lineMask)+1 {
+			res := p.hier.Fetch(pc + p.cfg.PhysBase)
+			p.fetchLine = (pc & lineMask) + 1
+			if res.L1Miss || res.TLBMiss {
+				ev := core.Event(0)
+				if res.L1Miss {
+					ev |= core.EvICacheMiss
+					if p.ctrs != nil {
+						p.ctrs.Event(counters.EventICacheMiss, p.cycle)
+					}
+				}
+				if res.TLBMiss {
+					ev |= core.EvITBMiss
+				}
+				p.pendingFetchEv = ev
+				p.fetchStallUntil = p.cycle + int64(res.Latency-p.cfg.Mem.ICache.HitLatency) + 1
+				p.presentEmpty(p.cfg.FetchWidth - slots)
+				return
+			}
+		}
+		u := p.fetchOne(pc, rec)
+		slots++
+		// A predicted-taken control transfer ends the fetch block.
+		if u.inst.Op.IsControl() && u.predTaken {
+			p.fetchLine = 0
+			if p.cfg.TakenBranchBubble > 0 {
+				p.fetchStallUntil = p.cycle + 1 + int64(p.cfg.TakenBranchBubble)
+			}
+			p.presentEmpty(p.cfg.FetchWidth - slots)
+			return
+		}
+		// Fetch blocks do not cross cache lines.
+		if (pc+isa.InstBytes)&lineMask != pc&lineMask {
+			p.fetchLine = 0
+			p.presentEmpty(p.cfg.FetchWidth - slots)
+			return
+		}
+	}
+}
+
+// nextFetchPC determines where the fetcher is pointed and, when on the
+// correct path, the trace record to bind.
+func (p *Pipeline) nextFetchPC() (pc uint64, rec sim.Record, ok bool) {
+	if p.offPath {
+		if p.cfg.NoWrongPath {
+			return 0, sim.Record{}, false // ablation: fetcher idles
+		}
+		if _, valid := p.prog.At(p.offPC); !valid {
+			return 0, sim.Record{}, false // wrong path ran off the image
+		}
+		return p.offPC, sim.Record{}, true
+	}
+	r, valid := p.win.at(p.nextSeq)
+	if !valid {
+		p.traceDone = true
+		return 0, sim.Record{}, false
+	}
+	return r.PC, r, true
+}
+
+// fetchOne creates the uop for one fetch slot, consults the predictor,
+// notifies ProfileMe, and advances the fetch state.
+func (p *Pipeline) fetchOne(pc uint64, rec sim.Record) *uop {
+	onPath := !p.offPath
+	var inst isa.Inst
+	if onPath {
+		inst = rec.Inst
+	} else {
+		inst, _ = p.prog.At(pc)
+	}
+
+	u := &uop{
+		seq: p.seqCounter, pc: pc, inst: inst, class: inst.Op.Class(),
+		onPath: onPath, rec: rec, tag: core.NoTag,
+		dst: noPreg, oldDst: noPreg,
+		fetchCyc: p.cycle, mapCyc: -1, readyCyc: -1, issueCyc: -1,
+		completeCyc: -1, retireCyc: -1, valueCyc: -1,
+		histAtFetch: p.pred.History(),
+	}
+	p.seqCounter++
+	u.fp = u.class == isa.ClassFAdd || u.class == isa.ClassFDiv
+	u.events |= p.pendingFetchEv
+	p.pendingFetchEv = 0
+
+	// ProfileMe sees every fetch opportunity; capture happens before this
+	// instruction's own history update.
+	if p.prof != nil {
+		u.tag = p.prof.OnFetch(p.cycle, pc, true, onPath, u.histAtFetch,
+			p.pred.HistoryBits(), p.cfg.Context)
+		if u.tag != core.NoTag && u.events != 0 {
+			p.prof.AddEvents(u.tag, u.events)
+		}
+	}
+
+	// Predict the next PC.
+	u.predNext = pc + isa.InstBytes
+	switch u.class {
+	case isa.ClassJump:
+		u.predNext, u.predTaken = inst.Target, true
+	case isa.ClassCall:
+		u.predNext, u.predTaken = inst.Target, true
+		p.pred.RASPush(pc + isa.InstBytes)
+	case isa.ClassBranch:
+		u.predTaken = p.pred.PredictCond(pc)
+		p.pred.PushHistory(u.predTaken)
+		if u.predTaken {
+			u.predNext = inst.Target
+		}
+	case isa.ClassRet:
+		if t, ok := p.pred.RASPop(); ok {
+			u.predNext, u.predTaken = t, true
+		}
+	case isa.ClassJmpInd:
+		if t, ok := p.pred.BTBLookup(pc); ok {
+			u.predNext, u.predTaken = t, true
+		}
+	}
+	u.rasAfter = p.pred.RASDepth()
+
+	// Effective addresses: real for on-path memory ops, synthesized for
+	// wrong-path ones (they still probe the D-cache).
+	if inst.Op.IsMem() {
+		if onPath {
+			u.ea, u.eaOK = rec.EA, true
+		} else {
+			u.ea = fakeEA(pc, u.seq)
+			u.eaOK = true
+		}
+	}
+
+	// Advance fetch state.
+	if onPath {
+		p.res.FetchedOnPath++
+		if st := p.pcStats(pc); st != nil {
+			st.Fetched++
+		}
+		p.nextSeq++
+		if u.predNext != rec.Target {
+			u.mispred = true
+			p.offPath = true
+			p.offPC = u.predNext
+		}
+	} else {
+		p.res.FetchedOffPath++
+		if st := p.pcStats(pc); st != nil {
+			st.OffPath++
+		}
+		p.offPC = u.predNext
+	}
+
+	p.fetchBuf = append(p.fetchBuf, u)
+	return u
+}
+
+// fakeEA synthesizes a deterministic effective address for a wrong-path
+// memory operation (8-byte aligned, in a high region so pollution is
+// plausible but does not systematically alias the data segment).
+func fakeEA(pc, seq uint64) uint64 {
+	h := (pc*0x9e3779b97f4a7c15 ^ seq*0xbf58476d1ce4e5b9) >> 16
+	return 0x40_0000 + (h&0xffff)*8
+}
+
+func (p *Pipeline) presentEmpty(n int) {
+	p.res.EmptyFetchSlots += uint64(n)
+	if p.prof == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		tag := p.prof.OnFetch(p.cycle, 0, false, false, p.pred.History(),
+			p.pred.HistoryBits(), p.cfg.Context)
+		_ = tag // empty-slot samples complete inside the unit
+	}
+}
+
+// ------------------------------------------------------------------ map --
+
+func (p *Pipeline) mapStage() {
+	mapped := 0
+	for mapped < p.cfg.MapWidth && len(p.fetchBuf) > 0 && p.robCount < p.cfg.ROBSize {
+		u := p.fetchBuf[0]
+		queue := &p.iqInt
+		qmax := p.cfg.IQInt
+		if u.fp {
+			queue, qmax = &p.iqFP, p.cfg.IQFP
+		}
+		if len(*queue) >= qmax {
+			p.noteResourceStall(u)
+			break
+		}
+		_, needsDst := u.inst.Dest()
+		if needsDst && p.ren.freeCount() == 0 {
+			p.noteResourceStall(u)
+			break
+		}
+
+		// Rename.
+		var srcs [2]isa.Reg
+		ss := u.inst.Srcs(srcs[:0])
+		u.nsrc = len(ss)
+		for i, a := range ss {
+			u.src[i] = p.ren.lookup(a)
+		}
+		if d, ok := u.inst.Dest(); ok {
+			u.archDst = d
+			u.dst, u.oldDst = p.ren.allocate(d)
+			u.dstGen = p.ren.generation(u.dst)
+		}
+
+		u.mapCyc = p.cycle
+		u.state = stMapped
+		if p.prof != nil && u.tag != core.NoTag {
+			p.prof.SetStage(u.tag, core.StageMap, p.cycle)
+		}
+
+		p.fetchBuf = p.fetchBuf[1:]
+		*queue = append(*queue, u)
+		if p.iid != nil {
+			p.iid.onMap((p.robHead+p.robCount)%len(p.rob), u.seq)
+		}
+		p.robPush(u)
+		mapped++
+	}
+}
+
+func (p *Pipeline) noteResourceStall(u *uop) {
+	if !u.events.Has(core.EvResourceStall) {
+		u.events |= core.EvResourceStall
+		if p.prof != nil && u.tag != core.NoTag {
+			p.prof.AddEvents(u.tag, core.EvResourceStall)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- issue --
+
+func (p *Pipeline) issueStage() {
+	intAvail, memAvail, fpAvail := p.cfg.IntUnits, p.cfg.MemPorts, p.cfg.FPUnits
+	before := intAvail + memAvail + fpAvail
+	if p.cfg.InOrder {
+		p.issueInOrder(&intAvail, &memAvail, &fpAvail)
+	} else {
+		p.issueFromQueue(&p.iqInt, &intAvail, &memAvail, &fpAvail)
+		p.issueFromQueue(&p.iqFP, &intAvail, &memAvail, &fpAvail)
+	}
+	// Compaction only has work after an issue or a squash.
+	if intAvail+memAvail+fpAvail != before || p.iqDirty {
+		p.compactQueue(&p.iqInt)
+		p.compactQueue(&p.iqFP)
+		p.iqDirty = false
+	}
+}
+
+// issueFromQueue issues ready instructions oldest-first.
+func (p *Pipeline) issueFromQueue(q *[]*uop, intAvail, memAvail, fpAvail *int) {
+	for _, u := range *q {
+		if u.state != stMapped {
+			continue
+		}
+		p.tryIssue(u, intAvail, memAvail, fpAvail)
+	}
+}
+
+// issueInOrder walks the ROB oldest-first and stops at the first
+// instruction that cannot issue: strict program-order issue (21164-like).
+func (p *Pipeline) issueInOrder(intAvail, memAvail, fpAvail *int) {
+	for i := 0; i < p.robCount; i++ {
+		u := p.rob[(p.robHead+i)%len(p.rob)]
+		switch u.state {
+		case stSquashed, stIssued, stCompleted, stRetired:
+			continue
+		case stFetched:
+			return // not yet mapped; younger cannot issue either
+		}
+		if !p.tryIssue(u, intAvail, memAvail, fpAvail) {
+			return
+		}
+	}
+}
+
+// tryIssue issues u if its operands and a functional unit are available.
+func (p *Pipeline) tryIssue(u *uop, intAvail, memAvail, fpAvail *int) bool {
+	for i := 0; i < u.nsrc; i++ {
+		if !p.ren.isReady(u.src[i]) {
+			return false
+		}
+	}
+	if u.readyCyc < 0 {
+		u.readyCyc = u.mapCyc
+		for i := 0; i < u.nsrc; i++ {
+			if t := p.ren.readySince(u.src[i]); t > u.readyCyc {
+				u.readyCyc = t
+			}
+		}
+		if p.prof != nil && u.tag != core.NoTag {
+			p.prof.SetStage(u.tag, core.StageDataReady, u.readyCyc)
+		}
+	}
+
+	var latency int
+	switch u.class {
+	case isa.ClassLoad, isa.ClassStore:
+		if *memAvail == 0 {
+			return false
+		}
+	case isa.ClassFAdd:
+		if *fpAvail == 0 {
+			return false
+		}
+	case isa.ClassFDiv:
+		if *fpAvail == 0 || p.divBusy > p.cycle {
+			return false
+		}
+	default:
+		if *intAvail == 0 {
+			return false
+		}
+	}
+
+	switch u.class {
+	case isa.ClassNop, isa.ClassIntALU:
+		latency = p.cfg.Lat.IntALU
+		*intAvail--
+	case isa.ClassIntMul:
+		latency = p.cfg.Lat.IntMul
+		*intAvail--
+	case isa.ClassBranch, isa.ClassJump, isa.ClassCall, isa.ClassJmpInd, isa.ClassRet:
+		latency = p.cfg.Lat.Branch
+		*intAvail--
+	case isa.ClassFAdd:
+		latency = p.cfg.Lat.FAdd
+		*fpAvail--
+	case isa.ClassFDiv:
+		latency = p.cfg.Lat.FDiv
+		*fpAvail--
+		p.divBusy = p.cycle + int64(latency)
+	case isa.ClassStore:
+		latency = p.cfg.Lat.Store
+		*memAvail--
+		p.memAccess(u)
+	case isa.ClassLoad:
+		*memAvail--
+		res := p.memAccess(u)
+		// Loads become ready to retire after the cache pipeline, even if
+		// the value is still in flight (Alpha semantics, Table 1): the
+		// value wakes consumers at valueCyc.
+		hit := p.cfg.Mem.DCache.HitLatency
+		latency = hit
+		value := p.cycle + int64(res.Latency)
+		p.wakeups[value] = append(p.wakeups[value], u)
+	}
+
+	u.issueCyc = p.cycle
+	u.state = stIssued
+	if p.prof != nil && u.tag != core.NoTag {
+		p.prof.SetStage(u.tag, core.StageIssue, p.cycle)
+	}
+	done := p.cycle + int64(latency)
+	p.completing[done] = append(p.completing[done], u)
+	return true
+}
+
+// memAccess charges the data-cache access for a load or store and records
+// its events.
+func (p *Pipeline) memAccess(u *uop) mem.Result {
+	res := p.hier.Data(u.ea + p.cfg.PhysBase)
+	if p.ctrs != nil {
+		p.ctrs.Event(counters.EventDCacheRef, p.cycle)
+		if res.L1Miss {
+			p.ctrs.Event(counters.EventDCacheMiss, p.cycle)
+		}
+	}
+	var ev core.Event
+	if res.L1Miss {
+		ev |= core.EvDCacheMiss
+	}
+	if res.L2Miss {
+		ev |= core.EvL2Miss
+	}
+	if res.TLBMiss {
+		ev |= core.EvDTBMiss
+	}
+	if ev != 0 {
+		u.events |= ev
+		if p.prof != nil && u.tag != core.NoTag {
+			p.prof.AddEvents(u.tag, ev)
+		}
+	}
+	if p.prof != nil && u.tag != core.NoTag {
+		p.prof.SetAddr(u.tag, u.ea)
+	}
+	return res
+}
+
+func (p *Pipeline) compactQueue(q *[]*uop) {
+	kept := (*q)[:0]
+	for _, u := range *q {
+		if u.state == stMapped {
+			kept = append(kept, u)
+		}
+	}
+	*q = kept
+}
+
+// ------------------------------------------------------------- complete --
+
+func (p *Pipeline) completeStage() {
+	// Load values arriving this cycle wake consumers.
+	if ws, ok := p.wakeups[p.cycle]; ok {
+		delete(p.wakeups, p.cycle)
+		for _, u := range ws {
+			if u.state == stSquashed {
+				continue
+			}
+			u.valueCyc = p.cycle
+			p.ren.markReadyIfCurrent(u.dst, u.dstGen, p.cycle)
+			if p.prof != nil && u.tag != core.NoTag {
+				p.prof.SetLoadComplete(u.tag, p.cycle)
+				// A load that already retired (the Alpha lets loads
+				// retire before the value returns) could not finish its
+				// sample at retirement: the interrupt is delayed until
+				// all signals reach the Profile Registers (§4.1.4).
+				if u.state == stRetired {
+					p.prof.Complete(u.tag, true, core.TrapNone, u.retireCyc)
+					u.tag = core.NoTag
+				}
+			}
+		}
+	}
+
+	cs, ok := p.completing[p.cycle]
+	if !ok {
+		return
+	}
+	delete(p.completing, p.cycle)
+	sort.Slice(cs, func(i, j int) bool { return cs[i].seq < cs[j].seq })
+	for _, u := range cs {
+		if u.state == stSquashed {
+			continue
+		}
+		u.state = stCompleted
+		u.completeCyc = p.cycle
+		if p.prof != nil && u.tag != core.NoTag {
+			p.prof.SetStage(u.tag, core.StageRetireReady, p.cycle)
+		}
+		if u.dst != noPreg && u.class != isa.ClassLoad {
+			p.ren.markReady(u.dst, p.cycle)
+		}
+		if u.inst.Op.IsControl() && u.onPath {
+			p.resolveControl(u)
+			if u.state == stSquashed {
+				continue // a replay on this very cycle squashed it; defensive
+			}
+		}
+		if u.class == isa.ClassStore && u.onPath && p.cfg.ReplayTraps {
+			p.checkReplay(u)
+		}
+	}
+}
+
+// resolveControl trains the predictor and triggers mispredict recovery.
+func (p *Pipeline) resolveControl(u *uop) {
+	actualTaken := u.rec.Taken
+	if u.inst.Op.IsConditional() {
+		p.pred.UpdateCond(u.pc, actualTaken, u.histAtFetch)
+		if actualTaken {
+			u.events |= core.EvTaken
+			if p.prof != nil && u.tag != core.NoTag {
+				p.prof.AddEvents(u.tag, core.EvTaken)
+			}
+		}
+	}
+	if u.inst.Op.IsIndirect() {
+		p.pred.BTBUpdate(u.pc, u.rec.Target)
+	}
+	p.pred.RecordOutcome(!u.mispred)
+	if !u.mispred {
+		return
+	}
+
+	// Mispredict recovery.
+	u.events |= core.EvMispredict
+	if p.prof != nil && u.tag != core.NoTag {
+		p.prof.AddEvents(u.tag, core.EvMispredict)
+	}
+	if p.ctrs != nil {
+		p.ctrs.Event(counters.EventBranchMispredict, p.cycle)
+	}
+	p.res.Mispredicts++
+	if st := p.pcStats(u.pc); st != nil {
+		st.Mispredicts++
+	}
+
+	p.squashYounger(u.seq, core.TrapBadPath)
+	// Restore front-end state: history as of just after this branch's
+	// true outcome, and resume fetch on the correct path.
+	if u.inst.Op.IsConditional() {
+		h := (u.histAtFetch << 1)
+		if actualTaken {
+			h |= 1
+		}
+		p.pred.SetHistory(h)
+	} else {
+		p.pred.SetHistory(u.histAtFetch)
+	}
+	p.pred.RASRestore(u.rasAfter)
+	p.offPath = false
+	p.offPC = 0
+	p.nextSeq = u.rec.Seq + 1
+	p.traceDone = false
+	p.fetchLine = 0
+	p.pendingFetchEv = 0
+	p.fetchStallUntil = maxI64(p.fetchStallUntil, p.cycle+1+int64(p.cfg.MispredictPenalty))
+}
+
+// checkReplay triggers a 21264-style load-store order replay trap when a
+// younger load to the same address issued before this store completed.
+func (p *Pipeline) checkReplay(st *uop) {
+	var victim *uop
+	for i := 0; i < p.robCount; i++ {
+		u := p.rob[(p.robHead+i)%len(p.rob)]
+		if u.seq <= st.seq || u.class != isa.ClassLoad || !u.onPath || !u.eaOK {
+			continue
+		}
+		if u.inst.Op == isa.OpPref {
+			continue // prefetches read no data: no ordering violation
+		}
+		if u.ea != st.ea {
+			continue
+		}
+		if u.state == stIssued || u.state == stCompleted {
+			if victim == nil || u.seq < victim.seq {
+				victim = u
+			}
+		}
+	}
+	if victim == nil {
+		return
+	}
+	p.res.ReplayTraps++
+	if s := p.pcStats(victim.pc); s != nil {
+		s.ReplayTraps++
+	}
+	victim.events |= core.EvReplayTrap
+	if p.prof != nil && victim.tag != core.NoTag {
+		p.prof.AddEvents(victim.tag, core.EvReplayTrap)
+	}
+	seq := victim.seq
+	recSeq := victim.rec.Seq
+	rasDepth := victim.rasAfter
+	p.squashFrom(seq, core.TrapReplay)
+	p.pred.RASRestore(rasDepth)
+	p.offPath = false
+	p.offPC = 0
+	p.nextSeq = recSeq
+	p.traceDone = false
+	p.fetchLine = 0
+	p.pendingFetchEv = 0
+	p.fetchStallUntil = maxI64(p.fetchStallUntil, p.cycle+1+int64(p.cfg.MispredictPenalty))
+}
+
+// ---------------------------------------------------------------- squash --
+
+// squashYounger kills everything strictly younger than seq.
+func (p *Pipeline) squashYounger(seq uint64, reason core.TrapReason) {
+	p.squashFrom(seq+1, reason)
+}
+
+// squashFrom kills every in-flight uop with sequence number >= seq:
+// fetch-buffer entries (not yet renamed) and ROB entries (rename undone
+// youngest-first).
+func (p *Pipeline) squashFrom(seq uint64, reason core.TrapReason) {
+	// Fetch buffer: all entries are younger than anything in the ROB;
+	// drop the tail with seq >= seq.
+	kept := p.fetchBuf[:0]
+	for _, u := range p.fetchBuf {
+		if u.seq >= seq {
+			p.killUop(u, reason)
+		} else {
+			kept = append(kept, u)
+		}
+	}
+	p.fetchBuf = kept
+
+	// ROB: walk from the tail, undoing rename state youngest-first.
+	for p.robCount > 0 {
+		tail := p.rob[(p.robHead+p.robCount-1)%len(p.rob)]
+		if tail.seq < seq {
+			break
+		}
+		if tail.state != stSquashed {
+			p.ren.undo(tail.archDst, tail.dst, tail.oldDst)
+			p.killUop(tail, reason)
+		}
+		p.robCount--
+	}
+}
+
+// killUop finalizes a squashed uop's bookkeeping.
+func (p *Pipeline) killUop(u *uop, reason core.TrapReason) {
+	if u.state == stIssued || u.state == stCompleted {
+		p.res.IssuedWasted++
+	}
+	if u.state == stMapped {
+		p.iqDirty = true // still sitting in an issue queue
+	}
+	u.state = stSquashed
+	u.trap = reason
+	if st := p.pcStats(u.pc); st != nil && u.onPath {
+		st.Aborted++
+	}
+	if p.prof != nil && u.tag != core.NoTag {
+		p.prof.Complete(u.tag, false, reason, p.cycle)
+		u.tag = core.NoTag
+	}
+	if p.iid != nil {
+		p.iid.onSquash(u.seq)
+	}
+	// Squashed entries remain in the issue queues until compaction and in
+	// the completing map until their cycle arrives; state checks skip them.
+}
+
+// ---------------------------------------------------------------- retire --
+
+func (p *Pipeline) retireStage() {
+	retired := 0
+	for p.robCount > 0 {
+		u := p.rob[p.robHead]
+		if u.state == stSquashed {
+			p.robPop()
+			continue // squashed entries drain without consuming width
+		}
+		if u.state != stCompleted || retired >= p.cfg.RetireWidth {
+			break
+		}
+		u.state = stRetired
+		u.retireCyc = p.cycle
+		p.ren.release(u.oldDst)
+		p.res.Retired++
+		p.res.IssuedUseful++
+		retired++
+
+		if p.prof != nil && u.tag != core.NoTag {
+			// Loads whose value is still in flight keep their tag; the
+			// sample completes when the value arrives (wakeup above).
+			if u.class == isa.ClassLoad && u.valueCyc < 0 {
+				// deferred
+			} else {
+				p.prof.Complete(u.tag, true, core.TrapNone, p.cycle)
+				u.tag = core.NoTag
+			}
+		}
+		if p.ctrs != nil {
+			p.ctrs.Event(counters.EventRetired, p.cycle)
+		}
+		if p.iid != nil {
+			p.iid.onRetire(u.seq, u.pc)
+		}
+		p.recordRetired(u)
+		p.win.trim(u.rec.Seq + 1)
+		p.robPop()
+	}
+}
+
+func (p *Pipeline) recordRetired(u *uop) {
+	if p.ipc != nil {
+		p.ipc.retire(p.cycle)
+	}
+	if p.wasted != nil {
+		p.wasted.usefulIssue(u.issueCyc)
+		p.wasted.window(u.pc, u.fetchCyc, u.completeCyc)
+	}
+	st := p.pcStats(u.pc)
+	if st == nil {
+		return
+	}
+	st.Retired++
+	st.LatInProgress += u.completeCyc - u.fetchCyc
+	st.LatFetchRetire += u.retireCyc - u.fetchCyc
+	if u.events.Has(core.EvDCacheMiss) {
+		st.DCacheMiss++
+	}
+	if u.events.Has(core.EvICacheMiss) {
+		st.ICacheMiss++
+	}
+	if u.events.Has(core.EvDTBMiss) {
+		st.DTBMiss++
+	}
+	if u.events.Has(core.EvTaken) {
+		st.Taken++
+	}
+}
+
+// wastedSink folds a finalized in-progress window into per-PC ground truth.
+func (p *Pipeline) wastedSink(pc uint64, from, to int64, useful int64) {
+	st := p.pcStats(pc)
+	if st == nil {
+		return
+	}
+	slots := (to - from) * int64(p.cfg.SustainedIssueWidth)
+	wasted := slots - useful
+	if wasted < 0 {
+		wasted = 0
+	}
+	st.WastedSlots += wasted
+	st.UsefulSlots += useful
+}
+
+// ------------------------------------------------------------ interrupts --
+
+func (p *Pipeline) interruptStage() {
+	if p.ctrs == nil && p.prof == nil {
+		return
+	}
+	pc := p.attributionPC()
+	if p.uninterruptible(pc) {
+		return // interrupts stay pending until the region is left
+	}
+	if p.ctrs != nil {
+		p.ctrs.Tick(p.cycle, pc)
+	}
+	if p.prof != nil && p.prof.InterruptPending() {
+		p.deliverProfileInterrupt()
+		p.fetchStallUntil = maxI64(p.fetchStallUntil, p.cycle+1+int64(p.cfg.InterruptCost))
+		p.res.InterruptStall += int64(p.cfg.InterruptCost)
+	}
+}
+
+// uninterruptible reports whether pc lies in the configured high-priority
+// region.
+func (p *Pipeline) uninterruptible(pc uint64) bool {
+	return p.cfg.UninterruptibleEnd > p.cfg.UninterruptibleStart &&
+		pc >= p.cfg.UninterruptibleStart && pc < p.cfg.UninterruptibleEnd
+}
+
+func (p *Pipeline) deliverProfileInterrupt() {
+	samples := p.prof.Drain()
+	p.res.Interrupts++
+	if p.profHandler != nil {
+		p.profHandler(samples)
+	}
+}
+
+// attributionPC is the PC a performance-counter interrupt handler would
+// observe: the restart PC, i.e. the oldest unretired instruction, else the
+// current fetch point.
+func (p *Pipeline) attributionPC() uint64 {
+	for i := 0; i < p.robCount; i++ {
+		u := p.rob[(p.robHead+i)%len(p.rob)]
+		if u.state != stSquashed && u.state != stRetired {
+			return u.pc
+		}
+	}
+	if len(p.fetchBuf) > 0 {
+		return p.fetchBuf[0].pc
+	}
+	if p.offPath {
+		return p.offPC
+	}
+	if r, ok := p.win.at(p.nextSeq); ok {
+		return r.PC
+	}
+	return 0
+}
+
+// ------------------------------------------------------------------- rob --
+
+func (p *Pipeline) robPush(u *uop) {
+	p.rob[(p.robHead+p.robCount)%len(p.rob)] = u
+	p.robCount++
+}
+
+func (p *Pipeline) robPop() {
+	p.rob[p.robHead] = nil
+	p.robHead = (p.robHead + 1) % len(p.rob)
+	p.robCount--
+}
+
+func (p *Pipeline) pcStats(pc uint64) *PCStats {
+	if p.pcs == nil {
+		return nil
+	}
+	return p.pcs.at(pc)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

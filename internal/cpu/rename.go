@@ -1,0 +1,123 @@
+package cpu
+
+import "profileme/internal/isa"
+
+// pregID names a physical register; -1 means none.
+type pregID int16
+
+const noPreg pregID = -1
+
+// renamer is the register-rename machinery: an architectural-to-physical
+// map table, a free list, and per-physical-register ready bits. Values are
+// never stored — the functional simulator supplies semantics — only
+// readiness timing.
+type renamer struct {
+	mapTable [isa.NumRegs]pregID
+	free     []pregID
+	ready    []bool
+	readyAt  []int64  // cycle the register became ready (for data-ready timestamps)
+	gen      []uint32 // bumped on allocate; guards late wakeups of freed registers
+}
+
+// newRenamer builds a renamer with physRegs physical registers. The first
+// NumRegs physicals are bound to the architectural registers and ready.
+func newRenamer(physRegs int) *renamer {
+	r := &renamer{
+		ready:   make([]bool, physRegs),
+		readyAt: make([]int64, physRegs),
+		gen:     make([]uint32, physRegs),
+	}
+	for i := range r.mapTable {
+		r.mapTable[i] = pregID(i)
+		r.ready[i] = true
+	}
+	for p := physRegs - 1; p >= isa.NumRegs; p-- {
+		r.free = append(r.free, pregID(p))
+	}
+	return r
+}
+
+// freeCount returns the number of allocatable physical registers.
+func (r *renamer) freeCount() int { return len(r.free) }
+
+// lookup returns the current physical mapping of an architectural source.
+func (r *renamer) lookup(a isa.Reg) pregID { return r.mapTable[a] }
+
+// allocate maps architectural register a to a fresh physical register,
+// returning the new physical register and the previous mapping (to free at
+// retire or restore at squash). It returns noPreg when the free list is
+// empty; callers must check freeCount first or handle the stall.
+func (r *renamer) allocate(a isa.Reg) (newP, oldP pregID) {
+	if len(r.free) == 0 {
+		return noPreg, noPreg
+	}
+	newP = r.free[len(r.free)-1]
+	r.free = r.free[:len(r.free)-1]
+	oldP = r.mapTable[a]
+	r.mapTable[a] = newP
+	r.ready[newP] = false
+	r.gen[newP]++
+	return newP, oldP
+}
+
+// generation returns the allocation generation of p (0 for noPreg).
+// Deferred wakeups capture it at issue and check it before marking ready,
+// so a register freed and reallocated in the meantime is not corrupted.
+func (r *renamer) generation(p pregID) uint32 {
+	if p == noPreg {
+		return 0
+	}
+	return r.gen[p]
+}
+
+// markReadyIfCurrent marks p ready only if its generation still matches.
+func (r *renamer) markReadyIfCurrent(p pregID, gen uint32, cycle int64) {
+	if p == noPreg || r.gen[p] != gen {
+		return
+	}
+	r.markReady(p, cycle)
+}
+
+// markReady records that physical register p's value is available as of
+// cycle.
+func (r *renamer) markReady(p pregID, cycle int64) {
+	if p == noPreg {
+		return
+	}
+	r.ready[p] = true
+	r.readyAt[p] = cycle
+}
+
+// isReady reports whether p's value is available. noPreg (no source) is
+// always ready.
+func (r *renamer) isReady(p pregID) bool {
+	return p == noPreg || r.ready[p]
+}
+
+// readySince returns the cycle p became ready (0 for never-written
+// registers, which have been ready since reset).
+func (r *renamer) readySince(p pregID) int64 {
+	if p == noPreg {
+		return 0
+	}
+	return r.readyAt[p]
+}
+
+// release returns p to the free list (the retiring instruction's
+// previous mapping, now dead).
+func (r *renamer) release(p pregID) {
+	if p != noPreg {
+		r.free = append(r.free, p)
+	}
+}
+
+// undo reverses one allocation during squash recovery: the map table entry
+// for a is restored to oldP and newP returns to the free list. Must be
+// called youngest-first.
+func (r *renamer) undo(a isa.Reg, newP, oldP pregID) {
+	if newP == noPreg {
+		return
+	}
+	r.mapTable[a] = oldP
+	r.free = append(r.free, newP)
+}

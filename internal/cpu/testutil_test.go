@@ -1,0 +1,9 @@
+package cpu
+
+import (
+	"profileme/internal/asm"
+	"profileme/internal/isa"
+)
+
+// asmAssemble keeps test files free of direct asm imports clutter.
+func asmAssemble(src string) (*isa.Program, error) { return asm.Assemble(src) }

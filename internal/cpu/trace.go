@@ -1,0 +1,64 @@
+package cpu
+
+import (
+	"fmt"
+
+	"profileme/internal/sim"
+)
+
+// traceWindow buffers a sliding window of the correct-path dynamic
+// instruction stream. The fetch engine reads records by sequence number;
+// mispredict recovery and replay traps rewind fetch to a sequence number
+// that is still in flight, so the window only needs to cover the maximum
+// number of in-flight instructions plus fetch buffering.
+type traceWindow struct {
+	src  sim.Source
+	buf  []sim.Record
+	base uint64 // sequence number of buf[0]
+	eof  bool
+}
+
+func newTraceWindow(src sim.Source) *traceWindow {
+	return &traceWindow{src: src}
+}
+
+// at returns the record with the given sequence number, pulling from the
+// source as needed. ok is false at end of stream. It panics if seq is
+// older than the window base — that would mean the pipeline rewound past
+// an already-retired instruction, which is a simulator bug.
+func (w *traceWindow) at(seq uint64) (sim.Record, bool) {
+	if seq < w.base {
+		panic(fmt.Sprintf("cpu: trace rewind to %d below window base %d", seq, w.base))
+	}
+	for seq >= w.base+uint64(len(w.buf)) {
+		if w.eof {
+			return sim.Record{}, false
+		}
+		r, ok := w.src.Next()
+		if !ok {
+			w.eof = true
+			return sim.Record{}, false
+		}
+		w.buf = append(w.buf, r)
+	}
+	return w.buf[seq-w.base], true
+}
+
+// trim discards records with sequence numbers below seq; they can no
+// longer be refetched.
+func (w *traceWindow) trim(seq uint64) {
+	if seq <= w.base {
+		return
+	}
+	drop := seq - w.base
+	if drop >= uint64(len(w.buf)) {
+		w.buf = w.buf[:0]
+	} else {
+		n := copy(w.buf, w.buf[drop:])
+		w.buf = w.buf[:n]
+	}
+	w.base = seq
+}
+
+// buffered returns the number of buffered records (tests/debug).
+func (w *traceWindow) buffered() int { return len(w.buf) }

@@ -1,0 +1,45 @@
+// Package experiments implements one self-contained harness per table and
+// figure of the paper's evaluation, so that cmd/figures, the examples and
+// the root-level benchmarks all regenerate the same results from the same
+// code. Every experiment returns a structured result plus a text rendering
+// of the paper's rows/series, and — where the paper's claim is a shape
+// rather than a number — a Check method that verifies the shape holds.
+package experiments
+
+import (
+	"fmt"
+
+	"profileme/internal/core"
+	"profileme/internal/cpu"
+	"profileme/internal/isa"
+	"profileme/internal/sim"
+)
+
+// runPipeline wires a program, a ProfileMe unit (may be nil) and a config
+// together and runs to completion.
+func runPipeline(prog *isa.Program, cfg cpu.Config, unit *core.Unit, handler func([]core.Sample)) (cpu.Result, *cpu.Pipeline, error) {
+	src := sim.NewMachineSource(sim.New(prog), 0)
+	p, err := cpu.New(prog, src, cfg)
+	if err != nil {
+		return cpu.Result{}, nil, err
+	}
+	if unit != nil {
+		p.AttachProfileMe(unit, handler)
+	}
+	res, err := p.Run(0)
+	if err != nil {
+		return res, p, err
+	}
+	if serr := src.Err(); serr != nil {
+		return res, p, serr
+	}
+	return res, p, nil
+}
+
+// checkf returns an error when cond is false.
+func checkf(cond bool, format string, args ...any) error {
+	if cond {
+		return nil
+	}
+	return fmt.Errorf(format, args...)
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"profileme/internal/asm"
+	"profileme/internal/core"
+	"profileme/internal/cpu"
+	"profileme/internal/isa"
+	"profileme/internal/pgo"
+	"profileme/internal/profile"
+	"profileme/internal/sim"
+)
+
+// PrefetchSpeedup runs the §7 profile-guided prefetching loop end to end
+// on a value-carried strided walk and returns the cycle speedup of the
+// rewritten program over the baseline. It validates that the transformed
+// program computes the same architectural result.
+func PrefetchSpeedup(iters int) (float64, error) {
+	b := asm.NewBuilder()
+	b.Org(0x200000).DataLabel("arr")
+	for i := 0; i < 8192; i++ {
+		b.Word(64)
+		b.Space(56)
+	}
+	b.Proc("main")
+	b.LdI(1, int64(iters))
+	b.LdaLabel(16, "arr")
+	b.Label("loop")
+	b.Ld(2, 16, 0)
+	b.Add(16, 16, 2)
+	b.OpI(isa.OpAnd, 16, 16, 0x27ffc0)
+	b.OpI(isa.OpOr, 16, 16, 0x200000)
+	b.Add(3, 3, 2)
+	b.SubI(1, 1, 1)
+	b.Bne(1, "loop")
+	b.Ret().EndProc()
+	prog, err := b.Build()
+	if err != nil {
+		return 0, err
+	}
+
+	db := profile.NewDB(40, 80, 4)
+	db.RetainAddrs = 16
+	ccfg := cpu.DefaultConfig()
+	ccfg.InterruptCost = 0
+	unit := core.MustNewUnit(core.Config{
+		MeanInterval: 40, Window: 80, BufferDepth: 32,
+		CountMode: core.CountInstructions, IntervalMode: core.IntervalGeometric, Seed: 6,
+	})
+	base, _, err := runPipeline(prog, ccfg, unit, db.Handler())
+	if err != nil {
+		return 0, err
+	}
+
+	cands := pgo.Analyze(db, prog, pgo.DefaultAnalyzeOptions())
+	re, err := pgo.InsertPrefetches(prog, pgo.PlanPrefetches(cands, 8))
+	if err != nil {
+		return 0, err
+	}
+	m1, m2 := sim.New(prog), sim.New(re)
+	if _, err := m1.Run(0, nil); err != nil {
+		return 0, err
+	}
+	if _, err := m2.Run(0, nil); err != nil {
+		return 0, err
+	}
+	if m1.Reg(3) != m2.Reg(3) {
+		return 0, fmt.Errorf("pgo: rewritten program diverged")
+	}
+	opt, _, err := runPipeline(re, ccfg, nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	return float64(base.Cycles) / float64(opt.Cycles), nil
+}

@@ -1,0 +1,28 @@
+package mem
+
+import "testing"
+
+func BenchmarkCacheAccessHit(b *testing.B) {
+	c := NewCache(DefaultConfig().DCache)
+	c.Access(0x1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000)
+	}
+}
+
+func BenchmarkCacheAccessMissStream(b *testing.B) {
+	c := NewCache(DefaultConfig().DCache)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i) * 64)
+	}
+}
+
+func BenchmarkHierarchyData(b *testing.B) {
+	h := NewHierarchy(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Data(uint64(i%4096) * 8)
+	}
+}

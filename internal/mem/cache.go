@@ -1,0 +1,208 @@
+// Package mem models the memory hierarchy the timing pipeline charges
+// latencies against: set-associative L1 instruction and data caches, a
+// unified L2, and instruction/data TLBs. Tag state only — data values live
+// in the functional simulator. The hierarchy reports, for every access,
+// the latency and which miss events occurred; those events are exactly the
+// I-cache/D-cache/TLB miss bits a ProfileMe record captures.
+package mem
+
+import "fmt"
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name       string
+	SizeBytes  int
+	LineBytes  int
+	Assoc      int
+	HitLatency int // cycles charged on a hit at this level
+}
+
+// Validate reports a configuration problem, or nil.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0:
+		return fmt.Errorf("mem: %s: non-positive geometry", c.Name)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("mem: %s: line size %d not a power of two", c.Name, c.LineBytes)
+	case c.SizeBytes%(c.LineBytes*c.Assoc) != 0:
+		return fmt.Errorf("mem: %s: size %d not divisible by assoc*line", c.Name, c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	lru   uint64 // last-touch stamp; larger is more recent
+}
+
+// Cache is a set-associative cache with LRU replacement. Not safe for
+// concurrent use.
+type Cache struct {
+	cfg       CacheConfig
+	sets      [][]line
+	setMask   uint64
+	lineShift uint
+	stamp     uint64
+
+	accesses uint64
+	misses   uint64
+}
+
+// NewCache returns an empty cache. It panics on an invalid configuration
+// (configurations are static program data, not runtime input).
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	sets := make([][]line, numSets)
+	backing := make([]line, numSets*cfg.Assoc)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(numSets - 1), lineShift: shift}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+func (c *Cache) set(addr uint64) ([]line, uint64) {
+	blk := addr >> c.lineShift
+	return c.sets[blk&c.setMask], blk
+}
+
+// Access looks up addr, filling the line on a miss (allocate-on-miss for
+// both reads and writes). It returns true on a hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.accesses++
+	c.stamp++
+	set, tag := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.stamp
+			return true
+		}
+	}
+	// Victim: first invalid way, else least recently used.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	c.misses++
+	set[victim] = line{tag: tag, valid: true, lru: c.stamp}
+	return false
+}
+
+// Probe reports whether addr currently hits, without updating any state.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// SetIndex returns the set number addr maps to, for conflict analysis
+// (the examples/memtuning scenario groups sampled miss addresses by set).
+func (c *Cache) SetIndex(addr uint64) uint64 {
+	return (addr >> c.lineShift) & c.setMask
+}
+
+// InvalidateAll empties the cache.
+func (c *Cache) InvalidateAll() {
+	for _, s := range c.sets {
+		for i := range s {
+			s[i] = line{}
+		}
+	}
+}
+
+// Stats returns cumulative accesses and misses.
+func (c *Cache) Stats() (accesses, misses uint64) { return c.accesses, c.misses }
+
+// MissRate returns misses/accesses, or 0 when idle.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// TLB is a fully-associative translation buffer with LRU replacement over
+// page numbers.
+type TLB struct {
+	entries   []tlbEntry
+	pageShift uint
+	stamp     uint64
+	accesses  uint64
+	misses    uint64
+}
+
+type tlbEntry struct {
+	page  uint64
+	valid bool
+	lru   uint64
+}
+
+// NewTLB returns a TLB with the given number of entries and page size.
+// It panics when pageBytes is not a power of two or entries is not
+// positive.
+func NewTLB(entries int, pageBytes int) *TLB {
+	if entries <= 0 || pageBytes <= 0 || pageBytes&(pageBytes-1) != 0 {
+		panic(fmt.Sprintf("mem: bad TLB geometry: %d entries, %d-byte pages", entries, pageBytes))
+	}
+	shift := uint(0)
+	for 1<<shift < pageBytes {
+		shift++
+	}
+	return &TLB{entries: make([]tlbEntry, entries), pageShift: shift}
+}
+
+// Access translates addr, filling on a miss. It returns true on a hit.
+func (t *TLB) Access(addr uint64) bool {
+	t.accesses++
+	t.stamp++
+	page := addr >> t.pageShift
+	victim := 0
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].page == page {
+			t.entries[i].lru = t.stamp
+			return true
+		}
+	}
+	for i := range t.entries {
+		if !t.entries[i].valid {
+			victim = i
+			break
+		}
+		if t.entries[i].lru < t.entries[victim].lru {
+			victim = i
+		}
+	}
+	t.misses++
+	t.entries[victim] = tlbEntry{page: page, valid: true, lru: t.stamp}
+	return false
+}
+
+// Page returns the page number of addr.
+func (t *TLB) Page(addr uint64) uint64 { return addr >> t.pageShift }
+
+// Stats returns cumulative accesses and misses.
+func (t *TLB) Stats() (accesses, misses uint64) { return t.accesses, t.misses }

@@ -1,0 +1,202 @@
+// Package pathprof implements the paper's §5.3 statistical path profiling:
+// given a sampled instruction's PC and the global branch history register
+// captured in its ProfileMe record, walk backward through the program's
+// control-flow graph to find the execution path segments consistent with
+// the recorded branch directions. Three reconstruction schemes are
+// provided, matching Figure 6: execution counts only, history bits, and
+// history bits plus the second PC of a paired sample.
+package pathprof
+
+import (
+	"profileme/internal/isa"
+)
+
+// PredKind classifies how control flowed from a predecessor instruction to
+// the current one in the dynamic fetch stream.
+type PredKind uint8
+
+// Predecessor kinds.
+const (
+	// PredFall: the previous instruction fell through (non-control, or a
+	// call returning... no — calls are PredRet sites; this is plain
+	// sequential flow).
+	PredFall PredKind = iota
+	// PredCondNotTaken: the previous instruction is a conditional branch
+	// that fell through (consumes a history bit, value 0).
+	PredCondNotTaken
+	// PredCondTaken: a conditional branch jumped here (consumes a history
+	// bit, value 1).
+	PredCondTaken
+	// PredJump: an unconditional direct branch jumped here.
+	PredJump
+	// PredCall: a call instruction jumped here (this PC is a procedure
+	// entry).
+	PredCall
+	// PredRet: a return instruction jumped here (this PC is a return
+	// site; the predecessor is a ret in the called procedure).
+	PredRet
+	// PredIndirect: an indirect jump observed (dynamically) to land here.
+	PredIndirect
+)
+
+// Pred is one backward-step candidate.
+type Pred struct {
+	PC       uint64 // predecessor instruction
+	Kind     PredKind
+	TakesBit bool // consumes a history bit
+	BitValue bool // required value of that bit (taken = true)
+}
+
+// Edge is a dynamic control-flow edge (from the instruction at From to the
+// instruction at To, in fetch order).
+type Edge struct{ From, To uint64 }
+
+// CFG holds the static control-flow structure of a program plus observed
+// dynamic edges for indirect transfers, preprocessed for backward walking.
+type CFG struct {
+	prog *isa.Program
+	// preds[pc/4] lists dynamic-stream predecessors of each instruction,
+	// excluding interprocedural edges, which are resolved per mode.
+	preds [][]Pred
+	// callPreds[pc/4] lists call instructions targeting this PC.
+	callPreds [][]uint64
+	// retPreds[pc/4] lists the return instructions that can precede this
+	// PC (the rets of the procedure called by the jsr at pc-4).
+	retPreds [][]uint64
+	// edgeCount holds dynamic edge execution counts (for the
+	// execution-counts scheme); populated by AddEdgeCounts.
+	edgeCount map[Edge]uint64
+}
+
+// NewCFG builds the static CFG for prog.
+func NewCFG(prog *isa.Program) *CFG {
+	n := prog.Len()
+	g := &CFG{
+		prog:      prog,
+		preds:     make([][]Pred, n),
+		callPreds: make([][]uint64, n),
+		retPreds:  make([][]uint64, n),
+		edgeCount: make(map[Edge]uint64),
+	}
+
+	// Collect the return instructions of each procedure.
+	retsOf := make(map[string][]uint64)
+	for _, pr := range prog.Procs {
+		for pc := pr.Start; pc < pr.End; pc += isa.InstBytes {
+			if in, ok := prog.At(pc); ok && in.Op.Class() == isa.ClassRet {
+				retsOf[pr.Name] = append(retsOf[pr.Name], pc)
+			}
+		}
+	}
+
+	idx := func(pc uint64) int { return int(pc / isa.InstBytes) }
+
+	for i := 0; i < n; i++ {
+		pc := uint64(i) * isa.InstBytes
+		in, _ := prog.At(pc)
+
+		// Sequential successor (pc+4) predecessors.
+		nextPC := pc + isa.InstBytes
+		if int(nextPC/isa.InstBytes) < n {
+			j := idx(nextPC)
+			switch in.Op.Class() {
+			case isa.ClassBranch:
+				g.preds[j] = append(g.preds[j],
+					Pred{PC: pc, Kind: PredCondNotTaken, TakesBit: true, BitValue: false})
+			case isa.ClassJump, isa.ClassJmpInd, isa.ClassRet:
+				// No fallthrough.
+			case isa.ClassCall:
+				// nextPC is a return site: preceded dynamically by the
+				// callee's returns.
+				if callee := prog.ProcAt(in.Target); callee != nil {
+					for _, retPC := range retsOf[callee.Name] {
+						g.retPreds[j] = append(g.retPreds[j], retPC)
+					}
+				}
+			default:
+				g.preds[j] = append(g.preds[j], Pred{PC: pc, Kind: PredFall})
+			}
+		}
+
+		// Direct-transfer target predecessors.
+		switch in.Op.Class() {
+		case isa.ClassBranch:
+			j := idx(in.Target)
+			g.preds[j] = append(g.preds[j],
+				Pred{PC: pc, Kind: PredCondTaken, TakesBit: true, BitValue: true})
+		case isa.ClassJump:
+			j := idx(in.Target)
+			g.preds[j] = append(g.preds[j], Pred{PC: pc, Kind: PredJump})
+		case isa.ClassCall:
+			j := idx(in.Target)
+			g.callPreds[j] = append(g.callPreds[j], pc)
+		}
+	}
+	return g
+}
+
+// AddIndirectEdge registers an observed indirect-jump edge (a static tool
+// would get these from relocation info or a BTB dump; the experiment
+// harvests them from the trace). Return edges are handled structurally and
+// must not be added here.
+func (g *CFG) AddIndirectEdge(from, to uint64) {
+	j := int(to / isa.InstBytes)
+	if j >= len(g.preds) {
+		return
+	}
+	for _, p := range g.preds[j] {
+		if p.PC == from && p.Kind == PredIndirect {
+			return
+		}
+	}
+	g.preds[j] = append(g.preds[j], Pred{PC: from, Kind: PredIndirect})
+}
+
+// AddEdgeCount accumulates a dynamic edge execution count for the
+// execution-counts reconstruction scheme.
+func (g *CFG) AddEdgeCount(from, to uint64, n uint64) {
+	g.edgeCount[Edge{From: from, To: to}] += n
+}
+
+// EdgeCount returns the recorded dynamic count of an edge.
+func (g *CFG) EdgeCount(from, to uint64) uint64 {
+	return g.edgeCount[Edge{From: from, To: to}]
+}
+
+// Program returns the program the CFG was built from.
+func (g *CFG) Program() *isa.Program { return g.prog }
+
+// Preds returns the intraprocedural-stream predecessors of pc (falls,
+// conditional edges, direct jumps, observed indirect jumps).
+func (g *CFG) Preds(pc uint64) []Pred {
+	i := int(pc / isa.InstBytes)
+	if i >= len(g.preds) {
+		return nil
+	}
+	return g.preds[i]
+}
+
+// CallPreds returns the call instructions targeting pc.
+func (g *CFG) CallPreds(pc uint64) []uint64 {
+	i := int(pc / isa.InstBytes)
+	if i >= len(g.callPreds) {
+		return nil
+	}
+	return g.callPreds[i]
+}
+
+// RetPreds returns the return instructions that can dynamically precede pc
+// (pc is a return site).
+func (g *CFG) RetPreds(pc uint64) []uint64 {
+	i := int(pc / isa.InstBytes)
+	if i >= len(g.retPreds) {
+		return nil
+	}
+	return g.retPreds[i]
+}
+
+// IsProcEntry reports whether pc is the entry of a procedure.
+func (g *CFG) IsProcEntry(pc uint64) bool {
+	pr := g.prog.ProcAt(pc)
+	return pr != nil && pr.Start == pc
+}

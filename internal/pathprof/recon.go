@@ -1,0 +1,228 @@
+package pathprof
+
+import (
+	"profileme/internal/isa"
+)
+
+// Mode selects intra- or inter-procedural reconstruction (the two panels
+// of Figure 6).
+type Mode uint8
+
+const (
+	// Intraproc stops at the enclosing procedure's entry and treats calls
+	// as opaque sequential instructions (the trace-scheduling view).
+	Intraproc Mode = iota
+	// Interproc walks through call sites and callee returns; a path is
+	// complete only when it has consumed the full branch history.
+	Interproc
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == Intraproc {
+		return "intraprocedural"
+	}
+	return "interprocedural"
+}
+
+// Limits bounds the backward search.
+type Limits struct {
+	MaxPaths int // stop enumerating after this many complete paths
+	MaxSteps int // total backward expansions before giving up
+	MaxLen   int // maximum path length in instructions
+}
+
+// DefaultLimits returns generous but safe search bounds.
+func DefaultLimits() Limits {
+	return Limits{MaxPaths: 256, MaxSteps: 200_000, MaxLen: 4096}
+}
+
+// Path is an execution path segment in backward order: Path[0] is the
+// sampled instruction, Path[1] the instruction fetched just before it, and
+// so on.
+type Path []uint64
+
+// Equal reports whether two paths are identical.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PairConstraint carries the paired-sample pruning information: the
+// partner instruction was fetched Distance instructions before the sampled
+// one.
+type PairConstraint struct {
+	PartnerPC uint64
+	Distance  int
+}
+
+// Reconstructor runs backward path searches over a CFG.
+type Reconstructor struct {
+	g   *CFG
+	lim Limits
+}
+
+// NewReconstructor returns a reconstructor with the given limits.
+func NewReconstructor(g *CFG, lim Limits) *Reconstructor {
+	return &Reconstructor{g: g, lim: lim}
+}
+
+// state is one node of the backward DFS.
+type state struct {
+	pc       uint64
+	bitsUsed int
+	path     Path
+}
+
+// Consistent enumerates the path segments ending at pc that are consistent
+// with the low histLen bits of hist (bit 0 = most recent branch). pair,
+// when non-nil, prunes paths whose instruction at the partner distance is
+// not the partner PC. truncated reports the search hit a limit.
+//
+// A path is complete when histLen conditional branches have been consumed,
+// or — in Intraproc mode — when the walk reaches the start of the
+// procedure containing pc.
+func (r *Reconstructor) Consistent(pc uint64, hist uint64, histLen int, mode Mode, pair *PairConstraint) (paths []Path, truncated bool) {
+	proc := r.g.Program().ProcAt(pc)
+	steps := 0
+	stack := []state{{pc: pc, path: Path{pc}}}
+
+	for len(stack) > 0 {
+		if len(paths) >= r.lim.MaxPaths || steps >= r.lim.MaxSteps {
+			return paths, true
+		}
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		steps++
+
+		if s.bitsUsed >= histLen {
+			paths = appendIfPairOK(paths, s.path, pair)
+			continue
+		}
+		if mode == Intraproc && proc != nil && s.pc == proc.Start {
+			paths = appendIfPairOK(paths, s.path, pair)
+			continue
+		}
+		if len(s.path) >= r.lim.MaxLen {
+			continue // dead end: too long
+		}
+
+		for _, pr := range r.expand(s.pc, mode, proc) {
+			if pr.TakesBit {
+				want := (hist >> uint(s.bitsUsed)) & 1
+				got := uint64(0)
+				if pr.BitValue {
+					got = 1
+				}
+				if want != got {
+					continue
+				}
+			}
+			np := make(Path, len(s.path)+1)
+			copy(np, s.path)
+			np[len(s.path)] = pr.PC
+			nb := s.bitsUsed
+			if pr.TakesBit {
+				nb++
+			}
+			stack = append(stack, state{pc: pr.PC, bitsUsed: nb, path: np})
+		}
+	}
+	return paths, false
+}
+
+// expand lists the backward-step candidates of pc under the given mode.
+func (r *Reconstructor) expand(pc uint64, mode Mode, proc *isa.Proc) []Pred {
+	var out []Pred
+	out = append(out, r.g.Preds(pc)...)
+
+	prevPC := pc - isa.InstBytes
+	prevIsCall := false
+	if pc >= isa.InstBytes {
+		if in, ok := r.g.Program().At(prevPC); ok && in.Op.Class() == isa.ClassCall {
+			prevIsCall = true
+		}
+	}
+
+	switch mode {
+	case Intraproc:
+		// Calls are opaque: step straight back over the jsr.
+		if prevIsCall {
+			out = append(out, Pred{PC: prevPC, Kind: PredFall})
+		}
+		// Stay within the procedure.
+		if proc != nil {
+			kept := out[:0]
+			for _, p := range out {
+				if proc.Contains(p.PC) {
+					kept = append(kept, p)
+				}
+			}
+			out = kept
+		}
+	case Interproc:
+		// Return sites continue inside the callee.
+		for _, retPC := range r.g.RetPreds(pc) {
+			out = append(out, Pred{PC: retPC, Kind: PredRet})
+		}
+		// Procedure entries continue at their callers.
+		for _, callPC := range r.g.CallPreds(pc) {
+			out = append(out, Pred{PC: callPC, Kind: PredCall})
+		}
+	}
+	return out
+}
+
+func appendIfPairOK(paths []Path, p Path, pair *PairConstraint) []Path {
+	if pair != nil && pair.Distance >= 0 && pair.Distance < len(p) {
+		if p[pair.Distance] != pair.PartnerPC {
+			return paths
+		}
+	}
+	return append(paths, p)
+}
+
+// MostLikely reconstructs the single most likely path by greedily
+// following the highest-execution-count predecessor at every step,
+// ignoring history bits (Figure 6's "Execution counts" scheme). It stops
+// under the same completion rules (branch budget, or procedure entry in
+// Intraproc mode). ok is false when the walk dead-ends first.
+func (r *Reconstructor) MostLikely(pc uint64, histLen int, mode Mode) (Path, bool) {
+	proc := r.g.Program().ProcAt(pc)
+	path := Path{pc}
+	bits := 0
+	cur := pc
+	for bits < histLen {
+		if mode == Intraproc && proc != nil && cur == proc.Start {
+			return path, true
+		}
+		if len(path) >= r.lim.MaxLen {
+			return path, false
+		}
+		var best *Pred
+		var bestCount uint64
+		for _, pr := range r.expand(cur, mode, proc) {
+			pr := pr
+			c := r.g.EdgeCount(pr.PC, cur)
+			if best == nil || c > bestCount || (c == bestCount && pr.PC < best.PC) {
+				best, bestCount = &pr, c
+			}
+		}
+		if best == nil {
+			return path, false
+		}
+		if best.TakesBit {
+			bits++
+		}
+		path = append(path, best.PC)
+		cur = best.PC
+	}
+	return path, true
+}

@@ -1,0 +1,383 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"profileme/internal/core"
+	"profileme/internal/isa"
+)
+
+// latencyKinds are the adjacent-stage latencies the database aggregates —
+// exactly the rows of the paper's Table 1.
+var latencyKinds = []struct {
+	Name     string
+	From, To core.Stage
+	Diagnose string
+}{
+	{"fetch->map", core.StageFetch, core.StageMap, "map stalls: no free registers or issue-queue slots"},
+	{"map->data-ready", core.StageMap, core.StageDataReady, "stalls on data dependences"},
+	{"data-ready->issue", core.StageDataReady, core.StageIssue, "execution resource contention"},
+	{"issue->retire-ready", core.StageIssue, core.StageRetireReady, "execution latency"},
+	{"retire-ready->retire", core.StageRetireReady, core.StageRetire, "stalls on prior unretired instructions"},
+}
+
+// NumLatencyKinds is the number of Table 1 adjacent-stage latencies.
+const NumLatencyKinds = 5
+
+// LatencyKindName returns the name of latency kind i.
+func LatencyKindName(i int) string { return latencyKinds[i].Name }
+
+// LatencyKindDiagnosis returns what a large value of latency kind i
+// indicates (Table 1's explanation column).
+func LatencyKindDiagnosis(i int) string { return latencyKinds[i].Diagnose }
+
+// numEventKinds is the number of event bits the database counts per PC.
+const numEventKinds = 11
+
+// eventKinds lists the event bits the database counts per PC.
+var eventKinds = [numEventKinds]core.Event{
+	core.EvRetired, core.EvICacheMiss, core.EvITBMiss, core.EvDCacheMiss,
+	core.EvDTBMiss, core.EvL2Miss, core.EvTaken, core.EvMispredict,
+	core.EvOffPath, core.EvReplayTrap, core.EvResourceStall,
+}
+
+// PCAccum aggregates every sample seen for one static instruction:
+// the DCPI-style compact representation (counts and sums, no raw samples).
+type PCAccum struct {
+	PC      uint64
+	Samples uint64 // samples naming this PC (first or second of a pair)
+	Events  [numEventKinds]uint64
+
+	// Latency sums and the number of samples contributing to each
+	// (aborted samples lack later-stage timestamps).
+	LatSum   [NumLatencyKinds]int64
+	LatCount [NumLatencyKinds]uint64
+
+	// Load issue -> value completion (Table 1's memory-system row).
+	MemLatSum   int64
+	MemLatCount uint64
+
+	// InProgress sums fetch -> retire-ready latency (the L_I input of the
+	// wasted-slots metric and the X axis of Figure 7).
+	InProgressSum   int64
+	InProgressCount uint64
+
+	// Paired-sampling accumulators for the wasted-slots metric: U_I
+	// (§5.2.3), counted incrementally.
+	UsefulOverlap uint64 // U_I: pair-partners that usefully overlapped
+	PairSamples   uint64 // samples of this PC that were part of a pair
+
+	// RetiredNear counts pair-partners that retired within the database's
+	// TNear cycles of this instruction (§5.2.4 neighborhood IPC).
+	RetiredNear uint64
+
+	// PairMetrics holds the counts of the database's registered custom
+	// overlap metrics (§5.2.4: "any function that can be expressed as
+	// f(I1, I2)"), indexed as registered.
+	PairMetrics []uint64
+
+	// Addrs retains up to DB.RetainAddrs sampled effective addresses in
+	// arrival order — the raw material for the §7 reference-pattern
+	// feedback (stride detection for prefetching, page-conflict
+	// analysis).
+	Addrs []uint64
+}
+
+// Retired returns the count of samples that retired.
+func (a *PCAccum) Retired() uint64 { return a.Events[0] }
+
+// EventCount returns the number of samples with ev set (ev must be one of
+// the tracked kinds).
+func (a *PCAccum) EventCount(ev core.Event) uint64 {
+	for i, kind := range eventKinds {
+		if kind == ev {
+			return a.Events[i]
+		}
+	}
+	return 0
+}
+
+// MeanLatency returns the average of latency kind i over contributing
+// samples.
+func (a *PCAccum) MeanLatency(i int) float64 {
+	if a.LatCount[i] == 0 {
+		return 0
+	}
+	return float64(a.LatSum[i]) / float64(a.LatCount[i])
+}
+
+// DB is the profile database: per-PC aggregation plus whole-run totals.
+type DB struct {
+	// S is the mean sampling interval, for scaling estimates.
+	S float64
+	// W is the paired-sampling window (0 when unpaired).
+	W int
+	// C is the machine's sustained issue width (§5.2.3's C).
+	C int
+	// TNear is the cycle radius for the neighborhood-IPC estimate
+	// (§5.2.4); DefaultTNear unless changed before adding samples.
+	TNear int64
+	// RetainAddrs caps how many sampled effective addresses are kept per
+	// PC (0 = none). Memory-feedback analyses (§7) need a handful.
+	RetainAddrs int
+
+	byPC    map[uint64]*PCAccum
+	samples uint64
+	pairs   uint64
+
+	metricNames []string
+	metricFns   []OverlapFunc
+}
+
+// DefaultTNear is the default neighborhood radius, matching the paper's
+// 30-cycle windowed-IPC measurements (§6).
+const DefaultTNear = 30
+
+// NewDB returns an empty database for a sampling configuration.
+func NewDB(s float64, w, c int) *DB {
+	return &DB{S: s, W: w, C: c, TNear: DefaultTNear, byPC: make(map[uint64]*PCAccum)}
+}
+
+// Handler adapts the database to a Pipeline.AttachProfileMe interrupt
+// handler.
+func (db *DB) Handler() func([]core.Sample) {
+	return func(ss []core.Sample) {
+		for _, s := range ss {
+			db.Add(s)
+		}
+	}
+}
+
+// Samples returns the number of samples added.
+func (db *DB) Samples() uint64 { return db.samples }
+
+// Pairs returns the number of paired samples added.
+func (db *DB) Pairs() uint64 { return db.pairs }
+
+// Add folds one ProfileMe sample into the database. This is the interrupt
+// handler's work: O(1) per sample, no retained raw data. Paired samples
+// are considered twice — once from each instruction's point of view — so
+// that partner samples are distributed over the window both before and
+// after each instruction (§5.2.2). For N-way samples (ways > 2) only the
+// first pair feeds the pair metrics; callers with chain analyses consume
+// Sample.Rest themselves.
+func (db *DB) Add(s core.Sample) {
+	db.samples++
+	if !s.Paired {
+		db.addRecord(&s.First, nil)
+		return
+	}
+	db.pairs++
+	db.addRecord(&s.First, &s.Second)
+	db.addRecord(&s.Second, &s.First)
+}
+
+func (db *DB) acc(pc uint64) *PCAccum {
+	a, ok := db.byPC[pc]
+	if !ok {
+		a = &PCAccum{PC: pc}
+		db.byPC[pc] = a
+	}
+	return a
+}
+
+func (db *DB) addRecord(r *core.Record, partner *core.Record) {
+	if r.Events.Has(core.EvNoInstruction) {
+		return // empty fetch slot: no PC to attribute
+	}
+	a := db.acc(r.PC)
+	a.Samples++
+	for i, kind := range eventKinds {
+		if r.Events.Has(kind) {
+			a.Events[i]++
+		}
+	}
+	for i, lk := range latencyKinds {
+		if lat, ok := r.Latency(lk.From, lk.To); ok {
+			a.LatSum[i] += lat
+			a.LatCount[i]++
+		}
+	}
+	if lat, ok := r.MemLatency(); ok {
+		a.MemLatSum += lat
+		a.MemLatCount++
+	}
+	if from, to, ok := r.InProgress(); ok {
+		a.InProgressSum += to - from
+		a.InProgressCount++
+	}
+	if r.AddrValid && len(a.Addrs) < db.RetainAddrs {
+		a.Addrs = append(a.Addrs, r.Addr)
+	}
+	if partner != nil {
+		a.PairSamples++
+		if UsefulOverlap(r, partner) {
+			a.UsefulOverlap++
+		}
+		if RetiredWithin(db.TNear)(r, partner) {
+			a.RetiredNear++
+		}
+		if len(db.metricFns) > 0 {
+			if a.PairMetrics == nil {
+				a.PairMetrics = make([]uint64, len(db.metricFns))
+			}
+			for i, f := range db.metricFns {
+				if f(r, partner) {
+					a.PairMetrics[i]++
+				}
+			}
+		}
+	}
+}
+
+// RegisterPairMetric adds a custom pair metric — the §5.2.4 flexibility:
+// any predicate over the two records of a pair becomes a statistically
+// estimable per-instruction quantity. It returns the metric's index and
+// must be called before samples are added.
+func (db *DB) RegisterPairMetric(name string, f OverlapFunc) int {
+	if db.samples > 0 {
+		panic("profile: RegisterPairMetric after samples were added")
+	}
+	db.metricNames = append(db.metricNames, name)
+	db.metricFns = append(db.metricFns, f)
+	return len(db.metricFns) - 1
+}
+
+// PairMetricNames returns the registered metric names in index order.
+func (db *DB) PairMetricNames() []string {
+	return append([]string(nil), db.metricNames...)
+}
+
+// EstimatePairMetric estimates, for pc, the number of instructions in the
+// ±Window neighborhood of each execution satisfying metric idx, summed
+// over executions: count * W * S (the same scaling as useful overlap).
+// ok is false without paired samples for pc.
+func (db *DB) EstimatePairMetric(pc uint64, idx int) (est float64, ok bool) {
+	a := db.byPC[pc]
+	if a == nil || a.PairSamples == 0 || idx < 0 || idx >= len(db.metricFns) {
+		return 0, false
+	}
+	var k uint64
+	if idx < len(a.PairMetrics) {
+		k = a.PairMetrics[idx]
+	}
+	return float64(k) * float64(db.W) * db.S, true
+}
+
+// Get returns the accumulator for pc, or nil.
+func (db *DB) Get(pc uint64) *PCAccum { return db.byPC[pc] }
+
+// PCs returns all profiled PCs in ascending order.
+func (db *DB) PCs() []uint64 {
+	pcs := make([]uint64, 0, len(db.byPC))
+	for pc := range db.byPC {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	return pcs
+}
+
+// EstimatedCount estimates how many times pc was fetched (on the predicted
+// path) over the run: samples * S.
+func (db *DB) EstimatedCount(pc uint64) float64 {
+	a := db.byPC[pc]
+	if a == nil {
+		return 0
+	}
+	return EstimateCount(a.Samples, db.S)
+}
+
+// EstimatedEventCount estimates the number of occurrences of ev at pc.
+func (db *DB) EstimatedEventCount(pc uint64, ev core.Event) float64 {
+	a := db.byPC[pc]
+	if a == nil {
+		return 0
+	}
+	return EstimateCount(a.EventCount(ev), db.S)
+}
+
+// WastedSlots computes the §5.2.3 wasted-issue-slot estimate for pc:
+//
+//	total slots  ≈ L_I * C * S / 2
+//	useful       ≈ U_I * W * S
+//	wasted       = total - useful (clamped at 0)
+//
+// ok is false when the database has no paired samples for pc.
+func (db *DB) WastedSlots(pc uint64) (wasted, total, useful float64, ok bool) {
+	a := db.byPC[pc]
+	if a == nil || a.PairSamples == 0 {
+		return 0, 0, 0, false
+	}
+	total = float64(a.InProgressSum) * float64(db.C) * db.S / 2
+	useful = float64(a.UsefulOverlap) * float64(db.W) * db.S
+	wasted = total - useful
+	if wasted < 0 {
+		wasted = 0
+	}
+	return wasted, total, useful, true
+}
+
+// NeighborhoodIPC estimates the instructions-per-cycle level in the
+// dynamic neighborhood of pc (§5.2.4): of the W-instruction window around
+// each execution, the fraction of partners retiring within TNear cycles,
+// scaled to instructions per cycle: W * fraction / TNear. ok is false
+// without paired samples.
+func (db *DB) NeighborhoodIPC(pc uint64) (ipc float64, ok bool) {
+	a := db.byPC[pc]
+	if a == nil || a.PairSamples == 0 || db.TNear == 0 {
+		return 0, false
+	}
+	frac := float64(a.RetiredNear) / float64(a.PairSamples)
+	return float64(db.W) * frac / float64(db.TNear), true
+}
+
+// HotPCs returns the n PCs with the most samples, descending.
+func (db *DB) HotPCs(n int) []*PCAccum {
+	accs := make([]*PCAccum, 0, len(db.byPC))
+	for _, a := range db.byPC {
+		accs = append(accs, a)
+	}
+	sort.Slice(accs, func(i, j int) bool {
+		if accs[i].Samples != accs[j].Samples {
+			return accs[i].Samples > accs[j].Samples
+		}
+		return accs[i].PC < accs[j].PC
+	})
+	if n > 0 && len(accs) > n {
+		accs = accs[:n]
+	}
+	return accs
+}
+
+// Report renders a hot-instruction table. prog may be nil; when given it
+// supplies disassembly and symbol names.
+func (db *DB) Report(prog *isa.Program, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d samples (%d paired), mean interval %.0f\n", db.samples, db.pairs, db.S)
+	fmt.Fprintf(&b, "%-10s %-24s %8s %14s %7s %7s %7s %9s\n",
+		"PC", "instruction", "samples", "est.cnt(±95%)", "ret%", "dmiss%", "mispr%", "avg-lat")
+	for _, a := range db.HotPCs(n) {
+		name := fmt.Sprintf("%#x", a.PC)
+		dis := ""
+		if prog != nil {
+			if in, ok := prog.At(a.PC); ok {
+				dis = in.String()
+			}
+			name = prog.SymbolFor(a.PC)
+		}
+		var lat float64
+		if a.InProgressCount > 0 {
+			lat = float64(a.InProgressSum) / float64(a.InProgressCount)
+		}
+		lo, hi := ConfidenceInterval(a.Samples, db.S, 1.96)
+		fmt.Fprintf(&b, "%-10s %-24s %8d %8.0f±%-5.0f %6.1f%% %6.1f%% %6.1f%% %9.1f\n",
+			name, dis, a.Samples, EstimateCount(a.Samples, db.S), (hi-lo)/2,
+			100*RateEstimate(a.Retired(), a.Samples),
+			100*RateEstimate(a.EventCount(core.EvDCacheMiss), a.Samples),
+			100*RateEstimate(a.EventCount(core.EvMispredict), a.Samples),
+			lat)
+	}
+	return b.String()
+}

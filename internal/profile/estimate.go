@@ -1,0 +1,113 @@
+// Package profile is the profiling software of the reproduction (paper
+// §5): it drains ProfileMe samples into a compact per-PC database
+// (DCPI-style incremental aggregation), estimates instruction-level event
+// frequencies with confidence intervals (§5.1), and analyzes paired
+// samples for concurrency metrics — overlap, wasted issue slots (§5.2.3),
+// and neighborhood IPC (§5.2.4).
+package profile
+
+import (
+	"math"
+
+	"profileme/internal/core"
+)
+
+// EstimateCount scales a sample count to an estimated event count: with an
+// average sampling interval of S fetched instructions, k samples having a
+// property estimate k*S occurrences (§5.1: E[kS] = fN).
+func EstimateCount(k uint64, s float64) float64 { return float64(k) * s }
+
+// RelativeError returns the expected coefficient of variation of an
+// estimate built from k property-samples: ≈ sqrt(1/k) (§5.1). It returns
+// +Inf for k == 0.
+func RelativeError(k uint64) float64 {
+	if k == 0 {
+		return math.Inf(1)
+	}
+	return 1 / math.Sqrt(float64(k))
+}
+
+// ConfidenceInterval returns the [lo, hi] interval around the estimate
+// kS at z standard deviations (z = 1 covers ≈ 68%, z = 1.96 ≈ 95%).
+func ConfidenceInterval(k uint64, s, z float64) (lo, hi float64) {
+	est := EstimateCount(k, s)
+	if k == 0 {
+		return 0, z * s // zero samples still bound the count below ~zS
+	}
+	half := z * est * RelativeError(k)
+	lo = est - half
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, est + half
+}
+
+// RateEstimate estimates the rate of a property among executions of one
+// instruction (e.g. per-instruction D-cache miss rate): the ratio of
+// property-samples to total samples for that PC. Both sample counts must
+// come from the same sampling stream, so the interval S cancels.
+func RateEstimate(kProperty, kTotal uint64) float64 {
+	if kTotal == 0 {
+		return 0
+	}
+	return float64(kProperty) / float64(kTotal)
+}
+
+// OverlapFunc decides whether record b "overlaps" record a in whatever
+// sense an analysis needs; the paper (§5.2.2) stresses that the overlap
+// definition is a software choice, which is what makes paired sampling
+// flexible.
+type OverlapFunc func(a, b *core.Record) bool
+
+// UsefulOverlap is the §5.2.3 definition: while a is in progress (fetch to
+// retire-ready), b issues and subsequently retires.
+func UsefulOverlap(a, b *core.Record) bool {
+	from, to, ok := a.InProgress()
+	if !ok {
+		return false
+	}
+	if !b.Retired() {
+		return false
+	}
+	issue := b.StageCycle[core.StageIssue]
+	return issue >= from && issue < to
+}
+
+// BothInFlight reports whether the two instructions were simultaneously in
+// the pipeline at any point (fetch to retire intervals intersect).
+func BothInFlight(a, b *core.Record) bool {
+	af, ar := a.StageCycle[core.StageFetch], a.StageCycle[core.StageRetire]
+	bf, br := b.StageCycle[core.StageFetch], b.StageCycle[core.StageRetire]
+	if af < 0 || ar < 0 || bf < 0 || br < 0 {
+		return false
+	}
+	return af < br && bf < ar
+}
+
+// IssuedWhileWaiting reports whether b issued while a was sitting in the
+// issue queue (mapped but not yet issued) — one of the paper's alternate
+// overlap definitions.
+func IssuedWhileWaiting(a, b *core.Record) bool {
+	m, i := a.StageCycle[core.StageMap], a.StageCycle[core.StageIssue]
+	bi := b.StageCycle[core.StageIssue]
+	if m < 0 || i < 0 || bi < 0 {
+		return false
+	}
+	return bi >= m && bi < i
+}
+
+// RetiredWithin returns an OverlapFunc that reports whether both
+// instructions retired within t cycles of each other (used by the
+// neighborhood-IPC estimate).
+func RetiredWithin(t int64) OverlapFunc {
+	return func(a, b *core.Record) bool {
+		if !a.Retired() || !b.Retired() {
+			return false
+		}
+		d := a.StageCycle[core.StageRetire] - b.StageCycle[core.StageRetire]
+		if d < 0 {
+			d = -d
+		}
+		return d <= t
+	}
+}

@@ -1,0 +1,122 @@
+package profile
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// dbImage is the serialized form of a DB (the DCPI-style on-disk profile:
+// counts and sums only, no raw samples). Custom pair-metric functions are
+// not serializable; their names and counts survive, and a loaded database
+// can be queried but accumulates further custom metrics only after the
+// functions are re-registered via RestorePairMetrics.
+type dbImage struct {
+	S           float64
+	W, C        int
+	TNear       int64
+	RetainAddrs int
+	Samples     uint64
+	Pairs       uint64
+	MetricNames []string
+	Accums      []PCAccum
+}
+
+// Save writes the database in a compact binary form.
+func (db *DB) Save(w io.Writer) error {
+	img := dbImage{
+		S: db.S, W: db.W, C: db.C, TNear: db.TNear, RetainAddrs: db.RetainAddrs,
+		Samples: db.samples, Pairs: db.pairs,
+		MetricNames: db.metricNames,
+	}
+	for _, pc := range db.PCs() {
+		img.Accums = append(img.Accums, *db.byPC[pc])
+	}
+	return gob.NewEncoder(w).Encode(img)
+}
+
+// LoadDB reads a database written by Save.
+func LoadDB(r io.Reader) (*DB, error) {
+	var img dbImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("profile: load: %w", err)
+	}
+	db := NewDB(img.S, img.W, img.C)
+	db.TNear = img.TNear
+	db.RetainAddrs = img.RetainAddrs
+	db.samples = img.Samples
+	db.pairs = img.Pairs
+	db.metricNames = img.MetricNames
+	db.metricFns = make([]OverlapFunc, len(img.MetricNames)) // placeholders
+	for i := range img.Accums {
+		a := img.Accums[i]
+		db.byPC[a.PC] = &a
+	}
+	return db, nil
+}
+
+// RestorePairMetrics re-binds custom metric functions after LoadDB; names
+// must match the registered order exactly.
+func (db *DB) RestorePairMetrics(fns map[string]OverlapFunc) error {
+	for i, name := range db.metricNames {
+		f, ok := fns[name]
+		if !ok {
+			return fmt.Errorf("profile: no function for metric %q", name)
+		}
+		db.metricFns[i] = f
+	}
+	return nil
+}
+
+// Merge folds other into db (multi-run aggregation; both databases must
+// share the sampling configuration and metric registrations).
+func (db *DB) Merge(other *DB) error {
+	if db.S != other.S || db.W != other.W || db.C != other.C || db.TNear != other.TNear {
+		return fmt.Errorf("profile: merge: configurations differ")
+	}
+	if len(db.metricNames) != len(other.metricNames) {
+		return fmt.Errorf("profile: merge: metric sets differ")
+	}
+	for i := range db.metricNames {
+		if db.metricNames[i] != other.metricNames[i] {
+			return fmt.Errorf("profile: merge: metric %d differs (%q vs %q)",
+				i, db.metricNames[i], other.metricNames[i])
+		}
+	}
+	db.samples += other.samples
+	db.pairs += other.pairs
+	for pc, src := range other.byPC {
+		dst := db.acc(pc)
+		dst.Samples += src.Samples
+		for i := range dst.Events {
+			dst.Events[i] += src.Events[i]
+		}
+		for i := range dst.LatSum {
+			dst.LatSum[i] += src.LatSum[i]
+			dst.LatCount[i] += src.LatCount[i]
+		}
+		dst.MemLatSum += src.MemLatSum
+		dst.MemLatCount += src.MemLatCount
+		dst.InProgressSum += src.InProgressSum
+		dst.InProgressCount += src.InProgressCount
+		dst.UsefulOverlap += src.UsefulOverlap
+		dst.PairSamples += src.PairSamples
+		dst.RetiredNear += src.RetiredNear
+		if room := db.RetainAddrs - len(dst.Addrs); room > 0 && len(src.Addrs) > 0 {
+			take := src.Addrs
+			if len(take) > room {
+				take = take[:room]
+			}
+			dst.Addrs = append(dst.Addrs, take...)
+		}
+		if len(src.PairMetrics) > 0 {
+			if dst.PairMetrics == nil {
+				dst.PairMetrics = make([]uint64, len(src.PairMetrics))
+			}
+			for i := range src.PairMetrics {
+				dst.PairMetrics[i] += src.PairMetrics[i]
+			}
+		}
+	}
+	return nil
+}

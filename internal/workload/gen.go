@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"fmt"
+
+	"profileme/internal/asm"
+	"profileme/internal/isa"
+	"profileme/internal/stats"
+)
+
+// GenConfig parameterizes the procedural program generator.
+type GenConfig struct {
+	Procs      int // number of generated procedures (besides main)
+	BodyBlocks int // structured constructs per procedure
+	MainIters  int // iterations of main's driver loop
+	Seed       uint64
+}
+
+// DefaultGenConfig returns a medium-sized generated program.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{Procs: 6, BodyBlocks: 5, MainIters: 2000, Seed: 42}
+}
+
+// Generate builds a random but well-structured program: a main driver loop
+// that advances a pseudo-random state register and calls generated
+// procedures; each procedure is a sequence of data-dependent diamonds,
+// small counted loops, ALU work, scratch-array accesses and calls to
+// strictly later procedures (so the call graph is acyclic). Generated
+// programs exercise the path profiler on varied CFG shapes and serve as
+// fuzz inputs for the pipeline.
+//
+// Register conventions: r1 main counter, r5 global LCG state, r6-r15
+// scratch, r21 scratch-array base, r20 main's saved return address.
+func Generate(cfg GenConfig) *isa.Program {
+	if cfg.Procs < 1 {
+		cfg.Procs = 1
+	}
+	if cfg.BodyBlocks < 1 {
+		cfg.BodyBlocks = 1
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	g := &genState{b: asm.NewBuilder(), rng: rng}
+
+	// Scratch array.
+	g.b.Org(0x20000).DataLabel("scratch").Space(8192)
+
+	// main: preamble (a couple of never-taken branches to separate the
+	// hot loop from the entry), then the driver loop.
+	g.b.Proc("main")
+	g.b.Op3(isa.OpAdd, 20, isa.RegRA, isa.RegZero)
+	g.b.LdI(1, int64(cfg.MainIters))
+	g.b.LdI(5, 0x12345)
+	g.b.LdaLabel(21, "scratch")
+	for i := 0; i < 2; i++ {
+		skip := g.label("pre")
+		g.b.Bne(isa.RegZero, skip) // never taken
+		g.b.Nop()
+		g.b.Label(skip)
+	}
+	loop := g.label("mainloop")
+	g.b.Label(loop)
+	g.advanceLCG()
+	// Call a random subset of procedures each iteration, gated on LCG
+	// bits so the call sequence varies dynamically.
+	for p := 0; p < cfg.Procs; p++ {
+		skip := g.label("skipcall")
+		g.b.OpI(isa.OpSrl, 6, 5, int64(p+1))
+		g.b.OpI(isa.OpAnd, 6, 6, 1)
+		g.b.Beq(6, skip)
+		g.b.Jsr(procName(p))
+		g.b.Label(skip)
+	}
+	g.b.SubI(1, 1, 1)
+	g.b.Bne(1, loop)
+	g.b.Emit(isa.Inst{Op: isa.OpRet, Rb: 20})
+	g.b.EndProc()
+
+	// Procedures. Each may call strictly later ones.
+	for p := 0; p < cfg.Procs; p++ {
+		g.genProc(p, cfg)
+	}
+
+	prog, err := g.b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("workload: generated program invalid: %v", err))
+	}
+	if err := prog.Validate(); err != nil {
+		panic(fmt.Sprintf("workload: generated program invalid: %v", err))
+	}
+	return prog
+}
+
+type genState struct {
+	b      *asm.Builder
+	rng    *stats.RNG
+	labels int
+}
+
+func procName(i int) string { return fmt.Sprintf("proc%d", i) }
+
+func (g *genState) label(prefix string) string {
+	g.labels++
+	return fmt.Sprintf("%s_%d", prefix, g.labels)
+}
+
+// advanceLCG mutates the global pseudo-random state register r5.
+func (g *genState) advanceLCG() {
+	g.b.OpI(isa.OpMul, 5, 5, 6364136223846793005)
+	g.b.AddI(5, 5, 1442695040888963407)
+}
+
+// genProc emits one procedure. Procedures that call save ra on the stack.
+func (g *genState) genProc(idx int, cfg GenConfig) {
+	calls := idx+1 < cfg.Procs && g.rng.Bool(0.6)
+	g.b.Proc(procName(idx))
+	if calls {
+		g.b.SubI(isa.RegSP, isa.RegSP, 16)
+		g.b.St(isa.RegRA, isa.RegSP, 0)
+	}
+	for blk := 0; blk < cfg.BodyBlocks; blk++ {
+		switch g.rng.Intn(5) {
+		case 0:
+			g.genDiamond(idx, blk)
+		case 1:
+			g.genLoop()
+		case 2:
+			g.genALU()
+		case 3:
+			g.genMemory()
+		case 4:
+			if calls {
+				callee := g.rng.IntRange(idx+1, cfg.Procs-1)
+				g.b.Jsr(procName(callee))
+			} else {
+				g.genALU()
+			}
+		}
+	}
+	if calls {
+		g.b.Ld(isa.RegRA, isa.RegSP, 0)
+		g.b.AddI(isa.RegSP, isa.RegSP, 16)
+	}
+	g.b.Ret()
+	g.b.EndProc()
+}
+
+// genDiamond emits an if/else on a pseudo-random bit of r5.
+func (g *genState) genDiamond(procIdx, blk int) {
+	elseL := g.label("else")
+	endL := g.label("endif")
+	bit := int64(g.rng.Intn(24))
+	g.b.OpI(isa.OpSrl, 6, 5, bit)
+	g.b.OpI(isa.OpAnd, 6, 6, 1)
+	g.b.Beq(6, elseL)
+	g.genALU()
+	g.b.Br(endL)
+	g.b.Label(elseL)
+	g.genALU()
+	g.b.Label(endL)
+}
+
+// genLoop emits a small counted loop with a fixed trip count.
+func (g *genState) genLoop() {
+	iters := int64(g.rng.IntRange(2, 6))
+	top := g.label("loop")
+	g.b.LdI(7, iters)
+	g.b.Label(top)
+	g.genALU()
+	g.b.SubI(7, 7, 1)
+	g.b.Bne(7, top)
+}
+
+// genALU emits a few arithmetic instructions over the scratch registers.
+func (g *genState) genALU() {
+	n := g.rng.IntRange(1, 4)
+	for i := 0; i < n; i++ {
+		rc := isa.Reg(g.rng.IntRange(8, 15))
+		ra := isa.Reg(g.rng.IntRange(8, 15))
+		switch g.rng.Intn(4) {
+		case 0:
+			g.b.AddI(rc, ra, int64(g.rng.Intn(100)))
+		case 1:
+			g.b.Op3(isa.OpXor, rc, ra, 5)
+		case 2:
+			g.b.OpI(isa.OpMul, rc, ra, int64(g.rng.IntRange(3, 99)))
+		case 3:
+			g.b.Op3(isa.OpSub, rc, ra, isa.Reg(g.rng.IntRange(8, 15)))
+		}
+	}
+}
+
+// genMemory emits a scratch-array load or store at a pseudo-random offset.
+func (g *genState) genMemory() {
+	g.b.OpI(isa.OpSrl, 6, 5, int64(g.rng.Intn(16)))
+	g.b.OpI(isa.OpAnd, 6, 6, 1016) // word-aligned offset within 8 KB
+	g.b.Add(6, 6, 21)
+	if g.rng.Bool(0.5) {
+		g.b.Ld(isa.Reg(g.rng.IntRange(8, 15)), 6, 0)
+	} else {
+		g.b.St(isa.Reg(g.rng.IntRange(8, 15)), 6, 0)
+	}
+}

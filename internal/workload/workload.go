@@ -1,0 +1,116 @@
+// Package workload provides the benchmark programs the experiments run:
+// a suite of eight synthetic kernels shaped after the SPECint95 programs
+// the paper profiles (COMPRESS, GCC, GO, IJPEG, LI, PERL, POVRAY, VORTEX),
+// plus the special-purpose programs behind individual figures — the
+// Figure 2 load+nops loop, the Figure 7 three-loop program, and the
+// Table 1 stall-stress kernels.
+//
+// The kernels are synthetic but structurally faithful: each reproduces the
+// control-flow and memory behaviour that its namesake is known for
+// (compress hashes a data stream, li chases pointers, ijpeg does dense
+// arithmetic, perl dispatches through a jump table, and so on). That is
+// what the paper's analyses actually consume — instruction streams with
+// realistic branch structure, cache behaviour and varying ILP — and it is
+// the documented substitution for the proprietary SPEC binaries and
+// traces (DESIGN.md §2).
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"profileme/internal/isa"
+	"profileme/internal/stats"
+)
+
+// Benchmark names a suite program and builds it at a given scale
+// (approximately scale dynamic instructions, within a small factor).
+type Benchmark struct {
+	Name  string
+	Notes string // dominant behaviour, for reports
+	Build func(scale int) *isa.Program
+}
+
+// Suite returns the eight SPECint95-flavoured benchmarks, in the paper's
+// order.
+func Suite() []Benchmark {
+	return []Benchmark{
+		{"compress", "hash-table stream compression: data-dependent branches, table misses", Compress},
+		{"gcc", "expression-tree evaluation: call-heavy, branchy, pointer loads", GCC},
+		{"go", "board scanning: irregular data-dependent branches", Go},
+		{"ijpeg", "dense block arithmetic: high ILP, regular memory", Ijpeg},
+		{"li", "cons-cell list interpreter: serial pointer chasing", Li},
+		{"perl", "bytecode interpreter: indirect-jump dispatch, stack traffic", Perl},
+		{"povray", "ray-sphere arithmetic: FP-heavy with divides", Povray},
+		{"vortex", "record store: hashed lookups, stores, call chains", Vortex},
+	}
+}
+
+// ByName returns the named suite benchmark.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range Suite() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Names returns the suite benchmark names in order.
+func Names() []string {
+	s := Suite()
+	names := make([]string, len(s))
+	for i, b := range s {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// fillWords writes n pseudo-random words (bounded by mod when mod > 0)
+// into prog.Data starting at base, stepping 8 bytes.
+func fillWords(prog *isa.Program, base uint64, n int, seed uint64, mod uint64) {
+	rng := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		v := rng.Uint64()
+		if mod > 0 {
+			v %= mod
+		}
+		prog.Data[base+uint64(i)*8] = v
+	}
+}
+
+// sanity validates a built program once at construction time; workload
+// bugs should fail loudly, not corrupt experiments.
+func sanity(p *isa.Program, err error) *isa.Program {
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	return p
+}
+
+// clampScale bounds scale to [lo, hi].
+func clampScale(scale, lo, hi int) int {
+	if scale < lo {
+		return lo
+	}
+	if hi > 0 && scale > hi {
+		return hi
+	}
+	return scale
+}
+
+// DataLabels returns the sorted data labels of a program (debug helper
+// for workload tests).
+func DataLabels(p *isa.Program) []string {
+	var names []string
+	for name, addr := range p.Labels {
+		if addr >= 0x1_0000 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,275 @@
+package workload
+
+import (
+	"testing"
+
+	"profileme/internal/cpu"
+	"profileme/internal/isa"
+	"profileme/internal/sim"
+)
+
+// runFunctional executes prog and returns the instruction count, failing
+// the test on any error or on suspiciously endless execution.
+func runFunctional(t *testing.T, prog *isa.Program, maxInst uint64) uint64 {
+	t.Helper()
+	m := sim.New(prog)
+	n, err := m.Run(maxInst, nil)
+	if err != nil {
+		t.Fatalf("functional run: %v", err)
+	}
+	if !m.Halted() {
+		t.Fatalf("program did not halt within %d instructions", maxInst)
+	}
+	return n
+}
+
+func TestSuiteProgramsRunToCompletion(t *testing.T) {
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog := b.Build(30000)
+			if err := prog.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			n := runFunctional(t, prog, 3_000_000)
+			if n < 10000 {
+				t.Fatalf("only %d instructions at scale 30000", n)
+			}
+			if n > 400_000 {
+				t.Fatalf("%d instructions at scale 30000: scale calibration off", n)
+			}
+		})
+	}
+}
+
+func TestSuiteScalesRoughlyLinearly(t *testing.T) {
+	for _, b := range Suite() {
+		small := runFunctional(t, b.Build(20000), 3_000_000)
+		big := runFunctional(t, b.Build(80000), 12_000_000)
+		ratio := float64(big) / float64(small)
+		if ratio < 2 || ratio > 8 {
+			t.Errorf("%s: scale 4x changed instructions by %.1fx", b.Name, ratio)
+		}
+	}
+}
+
+func TestSuiteOnPipeline(t *testing.T) {
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog := b.Build(20000)
+			src := sim.NewMachineSource(sim.New(prog), 0)
+			p, err := cpu.New(prog, src, cpu.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := p.Run(30_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Retired == 0 {
+				t.Fatal("nothing retired")
+			}
+			want := runFunctional(t, b.Build(20000), 3_000_000)
+			if res.Retired != want {
+				t.Fatalf("pipeline retired %d, functional executed %d", res.Retired, want)
+			}
+			if ipc := res.IPC(); ipc <= 0.05 || ipc > 4.0 {
+				t.Fatalf("implausible IPC %.2f", ipc)
+			}
+		})
+	}
+}
+
+func TestSuiteDiversity(t *testing.T) {
+	// The suite must span behaviours: ijpeg should out-IPC li by a wide
+	// margin (that contrast carries several experiments), and perl must
+	// actually exercise indirect jumps.
+	run := func(name string) cpu.Result {
+		b, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing benchmark %s", name)
+		}
+		prog := b.Build(40000)
+		src := sim.NewMachineSource(sim.New(prog), 0)
+		p, err := cpu.New(prog, src, cpu.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ij, li := run("ijpeg"), run("li")
+	if ij.IPC() < 2*li.IPC() {
+		t.Fatalf("ijpeg IPC %.2f not >> li IPC %.2f", ij.IPC(), li.IPC())
+	}
+
+	perlProg := Perl(40000)
+	hasIndirect := false
+	for _, in := range perlProg.Insts {
+		if in.Op == isa.OpJmp {
+			hasIndirect = true
+		}
+	}
+	if !hasIndirect {
+		t.Fatal("perl kernel has no indirect jumps")
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	if _, ok := ByName("compress"); !ok {
+		t.Fatal("compress missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("bogus benchmark found")
+	}
+	if len(Names()) != 8 {
+		t.Fatalf("suite has %d entries", len(Names()))
+	}
+}
+
+func TestFigure2Program(t *testing.T) {
+	prog := Figure2Program(50, 100)
+	if _, ok := prog.Label("theload"); !ok {
+		t.Fatal("theload label missing")
+	}
+	n := runFunctional(t, prog, 1_000_000)
+	// Roughly (load + 50 nops + sub + bne) * 100.
+	if n < 5000 || n > 6000 {
+		t.Fatalf("executed %d", n)
+	}
+}
+
+func TestFigure7Program(t *testing.T) {
+	prog := Figure7Program(500)
+	runFunctional(t, prog, 1_000_000)
+	loops := Figure7Loops(prog)
+	if len(loops) != 3 {
+		t.Fatalf("loops = %v", loops)
+	}
+	for name, r := range loops {
+		if r[0] >= r[1] {
+			t.Errorf("%s: empty range %v", name, r)
+		}
+	}
+	// Ranges must not overlap.
+	a, b, c := loops["A-serial"], loops["B-memory"], loops["C-parallel"]
+	if a[1] > b[0] || b[1] > c[0] {
+		t.Fatalf("loop ranges overlap: %v %v %v", a, b, c)
+	}
+}
+
+func TestTable1Programs(t *testing.T) {
+	progs := Table1Programs(300)
+	if len(progs) != 6 {
+		t.Fatalf("%d table-1 programs", len(progs))
+	}
+	for _, name := range Table1Order() {
+		prog, ok := progs[name]
+		if !ok {
+			t.Fatalf("missing kernel %s", name)
+		}
+		runFunctional(t, prog, 2_000_000)
+	}
+}
+
+func TestTable1KernelsStressIntendedStage(t *testing.T) {
+	// Each kernel must make its intended latency component visible in
+	// the timing: spot-check two extremes with ground truth.
+	run := func(name string) (cpu.Result, []cpu.PCStats) {
+		prog := Table1Programs(400)[name]
+		src := sim.NewMachineSource(sim.New(prog), 0)
+		p, err := cpu.New(prog, src, cpu.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, p.PerPC()
+	}
+	memRes, _ := run("mem-latency")
+	if memRes.CPI() < 15 {
+		t.Fatalf("mem-latency kernel CPI %.1f: chase is not missing", memRes.CPI())
+	}
+	fuRes, _ := run("fu-contention")
+	if fuRes.CPI() > 3 {
+		t.Fatalf("fu-contention kernel CPI %.1f: loads are not port-bound, they are stalled", fuRes.CPI())
+	}
+}
+
+func TestGenerateRunsAndVaries(t *testing.T) {
+	cfgA := DefaultGenConfig()
+	cfgA.MainIters = 200
+	progA := Generate(cfgA)
+	nA := runFunctional(t, progA, 5_000_000)
+	if nA < 1000 {
+		t.Fatalf("generated program too small: %d", nA)
+	}
+
+	cfgB := cfgA
+	cfgB.Seed = 777
+	progB := Generate(cfgB)
+	if progA.Len() == progB.Len() {
+		t.Log("different seeds gave equal code size (possible but unlikely)")
+	}
+	runFunctional(t, progB, 5_000_000)
+
+	// Deterministic for a fixed seed.
+	progA2 := Generate(cfgA)
+	if progA.Len() != progA2.Len() {
+		t.Fatal("generator not deterministic")
+	}
+	for i := range progA.Insts {
+		if progA.Insts[i] != progA2.Insts[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestGeneratedProgramOnPipeline(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.MainIters = 300
+	cfg.Seed = 9
+	prog := Generate(cfg)
+	want := runFunctional(t, prog, 5_000_000)
+
+	src := sim.NewMachineSource(sim.New(prog), 0)
+	p, err := cpu.New(prog, src, cpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retired != want {
+		t.Fatalf("pipeline retired %d, functional %d", res.Retired, want)
+	}
+}
+
+func TestGeneratedProgramsFuzzPipeline(t *testing.T) {
+	// Many random programs: the pipeline must always retire exactly the
+	// functional instruction count — the strongest end-to-end invariant.
+	for seed := uint64(100); seed < 112; seed++ {
+		cfg := GenConfig{Procs: 4, BodyBlocks: 4, MainIters: 60, Seed: seed}
+		prog := Generate(cfg)
+		want := runFunctional(t, prog, 3_000_000)
+		src := sim.NewMachineSource(sim.New(prog), 0)
+		p, err := cpu.New(prog, src, cpu.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Retired != want {
+			t.Fatalf("seed %d: retired %d != functional %d", seed, res.Retired, want)
+		}
+	}
+}
