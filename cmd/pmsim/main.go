@@ -19,6 +19,7 @@ import (
 
 	"profileme/internal/core"
 	"profileme/internal/cpu"
+	"profileme/internal/faultinject"
 	"profileme/internal/isa"
 	"profileme/internal/profile"
 	"profileme/internal/sim"
@@ -43,6 +44,8 @@ func main() {
 		byProc    = flag.Bool("proc", false, "also print the per-procedure rollup")
 		edges     = flag.Bool("edges", false, "also print the paired-sample edge profile (implies -paired)")
 		saveTo    = flag.String("save", "", "save the profile database to a file")
+		chaos     = flag.Float64("chaos", 0, "fault-injection rate 0..1: drop/delay/coalesce interrupts, stall drains, overwrite and corrupt samples")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "fault-injection RNG seed")
 		list      = flag.Bool("list", false, "list the suite benchmarks and exit")
 	)
 	flag.Parse()
@@ -112,6 +115,16 @@ func main() {
 			edgeHandler(ss)
 		}
 	})
+	var plan *faultinject.Plan
+	if *chaos != 0 {
+		plan, err = faultinject.NewPlan(*chaosSeed, faultinject.Uniform(*chaos))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		unit.AttachFaults(plan)
+		pipe.AttachFaults(plan)
+	}
 	res, err := pipe.Run(0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -123,8 +136,18 @@ func main() {
 	}
 
 	printSummary(name, res, pipe, unit)
-	// Scale estimates by the realized interval.
-	if db.Samples() > 0 {
+	if plan != nil {
+		// Hardware-side losses feed the database's loss correction; the
+		// realized interval is then computed over everything the hardware
+		// captured, so loss-corrected estimates re-center on the truth.
+		st := unit.Stats()
+		db.RecordLoss(st.SamplesDropped + st.SamplesOverwritten)
+		if captured := st.Captured(); captured > 0 {
+			db.S = float64(res.FetchedOnPath) / float64(captured)
+		}
+		printDegradation(plan, db, res, st)
+	} else if db.Samples() > 0 {
+		// Scale estimates by the realized interval.
 		db.S = float64(res.FetchedOnPath) / float64(db.Samples())
 	}
 	fmt.Println()
@@ -141,21 +164,43 @@ func main() {
 		fmt.Print(edgeDB.Report(prog, *top))
 	}
 	if *saveTo != "" {
-		f, err := os.Create(*saveTo)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := db.Save(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		if err := saveProfile(db, *saveTo); err != nil {
+			fmt.Fprintf(os.Stderr, "pmsim: profile database NOT saved: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("\nprofile database saved to %s\n", *saveTo)
 	}
+}
+
+// saveProfile writes the database to path, removing the partial file if
+// the write fails mid-way so a truncated image is never left behind.
+func saveProfile(db *profile.DB, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return fmt.Errorf("closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// printDegradation reports what fault injection did to the sampling stack
+// and how badly the profile degraded.
+func printDegradation(plan *faultinject.Plan, db *profile.DB, res cpu.Result, st core.Stats) {
+	c := plan.Counts()
+	fmt.Printf("chaos: %d delivered, %d dropped, %d overwritten, %d corrupt-rejected; estimated loss rate %.1f%%\n",
+		db.Samples(), st.SamplesDropped, st.SamplesOverwritten, db.CorruptRejected(),
+		100*db.LossRate())
+	fmt.Printf("chaos faults: %d interrupts suppressed, %d delayed, %d coalesced, %d drains stalled (%d hold cycles), %d samples corrupted\n",
+		c.InterruptsDropped, c.InterruptsDelayed, c.InterruptsCoalesced, c.DrainsStalled,
+		res.InterruptHoldCycles, c.SamplesCorrupted)
 }
 
 func pickProgram(bench string, genSeed uint64, scale int) (*isa.Program, string, error) {

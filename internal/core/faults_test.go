@@ -1,0 +1,161 @@
+package core
+
+import "testing"
+
+// scriptedFaults is a hand-driven FaultInjector for unit tests: each knob
+// fires unconditionally when enabled.
+type scriptedFaults struct {
+	suppress  bool
+	overwrite bool
+	corrupt   bool
+	corrupted int
+}
+
+func (f *scriptedFaults) SuppressInterrupt() bool { return f.suppress }
+func (f *scriptedFaults) OverwriteOnFull() bool   { return f.overwrite }
+func (f *scriptedFaults) CorruptDrained(ss []Sample) int {
+	if !f.corrupt {
+		return 0
+	}
+	for i := range ss {
+		ss[i].First.PC ^= 1 << 40
+	}
+	f.corrupted += len(ss)
+	return len(ss)
+}
+
+// TestDropAccountingStalledDrain drives the buffer past BufferDepth with a
+// stalled drain (software never reads) and checks that SamplesDropped,
+// Interrupts and Pending stay mutually consistent — the adversarial path
+// the happy-path tests never exercise.
+func TestDropAccountingStalledDrain(t *testing.T) {
+	cfg := singleCfg(10)
+	cfg.BufferDepth = 3
+	u := MustNewUnit(cfg)
+
+	// 1000 fetches at a fixed interval of 10 => 100 captured samples,
+	// 3 buffered, 97 dropped.
+	feed(u, 0, 1000, true)
+	st := u.Stats()
+	if st.SamplesBuffered != 3 {
+		t.Fatalf("SamplesBuffered = %d, want 3", st.SamplesBuffered)
+	}
+	if st.SamplesDropped != 97 {
+		t.Fatalf("SamplesDropped = %d, want 97", st.SamplesDropped)
+	}
+	if got := u.Pending(); got != 3 {
+		t.Fatalf("Pending = %d, want BufferDepth 3", got)
+	}
+	if st.Interrupts != 1 {
+		t.Fatalf("Interrupts = %d, want 1 (line stays raised while undrained)", st.Interrupts)
+	}
+	if !u.InterruptPending() {
+		t.Fatal("interrupt line should still be raised")
+	}
+	if st.Captured() != st.SamplesBuffered+st.SamplesDropped {
+		t.Fatalf("Captured() = %d inconsistent with buffered %d + dropped %d",
+			st.Captured(), st.SamplesBuffered, st.SamplesDropped)
+	}
+	if st.Lost() != st.SamplesDropped {
+		t.Fatalf("Lost() = %d, want %d", st.Lost(), st.SamplesDropped)
+	}
+
+	// Draining recovers: the line drops, the buffer refills, a second
+	// interrupt is raised.
+	if got := len(u.Drain()); got != 3 {
+		t.Fatalf("drained %d samples, want 3", got)
+	}
+	if u.Pending() != 0 || u.InterruptPending() {
+		t.Fatal("drain did not clear buffer and interrupt line")
+	}
+	feed(u, 1000, 300, true)
+	st = u.Stats()
+	if st.Interrupts != 2 {
+		t.Fatalf("Interrupts = %d after refill, want 2", st.Interrupts)
+	}
+	if u.Pending() != 3 {
+		t.Fatalf("Pending = %d after refill, want 3", u.Pending())
+	}
+}
+
+func TestSuppressedInterruptAccounting(t *testing.T) {
+	cfg := singleCfg(10)
+	cfg.BufferDepth = 2
+	u := MustNewUnit(cfg)
+	fi := &scriptedFaults{suppress: true}
+	u.AttachFaults(fi)
+
+	feed(u, 0, 500, true)
+	st := u.Stats()
+	if st.Interrupts != 0 {
+		t.Fatalf("Interrupts = %d under total suppression, want 0", st.Interrupts)
+	}
+	if st.InterruptsSuppressed == 0 {
+		t.Fatal("InterruptsSuppressed not counted")
+	}
+	if u.InterruptPending() {
+		t.Fatal("interrupt line raised despite suppression")
+	}
+	// The buffer still holds its samples; software polling Pending can
+	// recover them even with the line dead.
+	if u.Pending() != 2 {
+		t.Fatalf("Pending = %d, want BufferDepth 2", u.Pending())
+	}
+	if st.SamplesDropped == 0 {
+		t.Fatal("overflow drops not counted while the line was suppressed")
+	}
+}
+
+func TestOverwriteOnFullAccounting(t *testing.T) {
+	cfg := singleCfg(10)
+	cfg.BufferDepth = 2
+	u := MustNewUnit(cfg)
+	u.AttachFaults(&scriptedFaults{overwrite: true})
+
+	feed(u, 0, 500, true)
+	st := u.Stats()
+	if st.SamplesDropped != 0 {
+		t.Fatalf("SamplesDropped = %d with overwrite faults, want 0", st.SamplesDropped)
+	}
+	if st.SamplesOverwritten != 48 {
+		t.Fatalf("SamplesOverwritten = %d, want 48 (50 captured, 2 buffered)", st.SamplesOverwritten)
+	}
+	if u.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2 (overwrite never grows the buffer)", u.Pending())
+	}
+	if st.Captured() != 50 {
+		t.Fatalf("Captured() = %d, want 50", st.Captured())
+	}
+	// The overwritten slot holds the newest sample, not the oldest.
+	out := u.Drain()
+	if len(out) != 2 {
+		t.Fatalf("drained %d, want 2", len(out))
+	}
+	if out[1].First.FetchSeq <= out[0].First.FetchSeq {
+		t.Fatalf("buffer order broken: fetchseq %d then %d",
+			out[0].First.FetchSeq, out[1].First.FetchSeq)
+	}
+}
+
+func TestCorruptDrainedAccounting(t *testing.T) {
+	cfg := singleCfg(10)
+	cfg.BufferDepth = 4
+	u := MustNewUnit(cfg)
+	fi := &scriptedFaults{corrupt: true}
+	u.AttachFaults(fi)
+
+	feed(u, 0, 40, true)
+	out := u.Drain()
+	if len(out) == 0 {
+		t.Fatal("nothing drained")
+	}
+	st := u.Stats()
+	if st.SamplesCorrupted != uint64(len(out)) {
+		t.Fatalf("SamplesCorrupted = %d, want %d", st.SamplesCorrupted, len(out))
+	}
+	for i, s := range out {
+		if s.First.PC&(1<<40) == 0 {
+			t.Fatalf("sample %d not corrupted", i)
+		}
+	}
+}

@@ -67,6 +67,11 @@ var eventNames = []struct {
 	{EvResourceStall, "resource-stall"},
 }
 
+// KnownEvents is the mask of every defined event bit; anything outside it
+// in a Record is corruption (profiling software uses this to reject
+// damaged samples).
+const KnownEvents = (EvResourceStall << 1) - 1
+
 // Has reports whether all bits in mask are set.
 func (e Event) Has(mask Event) bool { return e&mask == mask }
 
@@ -104,6 +109,10 @@ var trapNames = [...]string{
 	TrapNone: "none", TrapBadPath: "bad-path", TrapReplay: "replay",
 	TrapDrain: "drain", TrapNeverDone: "never-done",
 }
+
+// Known reports whether t is a defined trap reason; unknown values in a
+// Record are corruption.
+func (t TrapReason) Known() bool { return int(t) < len(trapNames) }
 
 // String returns the trap reason name.
 func (t TrapReason) String() string {

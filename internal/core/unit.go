@@ -131,6 +131,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: mean interval %v < 1", c.MeanInterval)
 	case c.BufferDepth < 1:
 		return fmt.Errorf("core: buffer depth %d < 1", c.BufferDepth)
+	case c.Ways < 0:
+		return fmt.Errorf("core: negative ways %d", c.Ways)
+	case c.Window < 0:
+		return fmt.Errorf("core: negative window %d", c.Window)
 	case c.ways() > MaxWays:
 		return fmt.Errorf("core: %d-way sampling exceeds the %d-way hardware bound", c.ways(), MaxWays)
 	case c.ways() > 1 && c.Window < 1:
@@ -140,7 +144,8 @@ func (c Config) Validate() error {
 }
 
 // Stats counts what the Unit observed; used to quantify sample yield and
-// interrupt amortization.
+// interrupt amortization. The fault counters (overwritten, corrupted,
+// suppressed) stay zero unless a FaultInjector is attached.
 type Stats struct {
 	Selected        uint64 // fetch opportunities selected for profiling
 	EmptySelected   uint64 // selections that held no instruction
@@ -148,6 +153,49 @@ type Stats struct {
 	SamplesBuffered uint64 // completed samples pushed to the buffer
 	SamplesDropped  uint64 // samples lost because the buffer was full
 	Interrupts      uint64 // interrupts raised
+
+	// SamplesOverwritten counts buffered samples clobbered by a later
+	// completion while interrupt delivery was delayed — the paper's
+	// sample-register overwrite hazard, reachable only via fault injection.
+	SamplesOverwritten uint64
+	// SamplesCorrupted counts samples bit-flipped by fault injection on
+	// their way out of Drain.
+	SamplesCorrupted uint64
+	// InterruptsSuppressed counts interrupt raises swallowed by fault
+	// injection (the line stays low; the buffer keeps overflowing).
+	InterruptsSuppressed uint64
+}
+
+// Captured returns the total number of samples the hardware completed,
+// whether or not software ever saw them.
+func (s Stats) Captured() uint64 {
+	return s.SamplesBuffered + s.SamplesDropped + s.SamplesOverwritten
+}
+
+// Lost returns the samples captured by the hardware but never delivered to
+// software (dropped on a full buffer or overwritten during a delayed
+// interrupt). Random losses here are what the paper argues profiles must
+// tolerate (§4.3, §6); profile.DB.RecordLoss consumes this to keep its
+// estimators unbiased.
+func (s Stats) Lost() uint64 { return s.SamplesDropped + s.SamplesOverwritten }
+
+// FaultInjector is the hook surface a fault-injection plan presents to the
+// Unit (internal/faultinject implements it). Every method must be
+// deterministic given the plan's seed: the Unit consults the hooks in a
+// fixed order from a single-threaded simulation, so seeded plans reproduce
+// exactly. A nil injector means fault-free operation.
+type FaultInjector interface {
+	// SuppressInterrupt reports whether this interrupt raise is dropped.
+	// The line stays low; the full buffer keeps dropping samples until a
+	// later capture raises it successfully.
+	SuppressInterrupt() bool
+	// OverwriteOnFull reports whether a sample completing into a full
+	// buffer overwrites the newest buffered entry (the register-overwrite
+	// hazard of delayed interrupt delivery) instead of being dropped.
+	OverwriteOnFull() bool
+	// CorruptDrained may bit-flip fields of the samples software is about
+	// to read; it returns how many samples it mutated.
+	CorruptDrained(ss []Sample) int
 }
 
 // Unit is the per-processor ProfileMe hardware. The pipeline drives it;
@@ -170,6 +218,7 @@ type Unit struct {
 	buffer    []Sample
 	interrupt bool
 	stats     Stats
+	faults    FaultInjector
 }
 
 // NewUnit returns an armed Unit.
@@ -203,6 +252,11 @@ func (u *Unit) Config() Config { return u.cfg }
 
 // Stats returns the Unit's counters.
 func (u *Unit) Stats() Stats { return u.stats }
+
+// AttachFaults arms a fault-injection plan (nil detaches). The Unit keeps
+// honest per-fault accounting in Stats either way, so software can always
+// reconstruct the delivered-vs-lost split.
+func (u *Unit) AttachFaults(fi FaultInjector) { u.faults = fi }
 
 // arm draws a fresh major interval and resets per-sample state. In real
 // hardware the interrupt handler writes the counter; with buffering the
@@ -409,15 +463,26 @@ func (u *Unit) capture() {
 	if len(u.buffer) >= u.cfg.BufferDepth {
 		// Buffer full and software has not drained: hardware drops the
 		// sample (real designs stall sampling; dropping is equivalent
-		// for statistics and simpler).
-		u.stats.SamplesDropped++
+		// for statistics and simpler). Under an injected delayed
+		// interrupt, the new completion instead overwrites the newest
+		// register set — the paper's overwrite hazard.
+		if u.faults != nil && u.faults.OverwriteOnFull() {
+			u.buffer[len(u.buffer)-1] = s
+			u.stats.SamplesOverwritten++
+		} else {
+			u.stats.SamplesDropped++
+		}
 	} else {
 		u.buffer = append(u.buffer, s)
 		u.stats.SamplesBuffered++
 	}
 	if len(u.buffer) >= u.cfg.BufferDepth && !u.interrupt {
-		u.interrupt = true
-		u.stats.Interrupts++
+		if u.faults != nil && u.faults.SuppressInterrupt() {
+			u.stats.InterruptsSuppressed++
+		} else {
+			u.interrupt = true
+			u.stats.Interrupts++
+		}
 	}
 	u.arm()
 }
@@ -448,11 +513,16 @@ func (u *Unit) FlushInFlight(cycle int64) {
 func (u *Unit) InterruptPending() bool { return u.interrupt }
 
 // Drain returns the buffered samples and lowers the interrupt line: the
-// profiling software's read of the Profile Registers.
+// profiling software's read of the Profile Registers. An attached fault
+// plan may bit-flip fields on the way out (a register read racing the
+// hardware); software must validate what it consumes.
 func (u *Unit) Drain() []Sample {
 	out := u.buffer
 	u.buffer = nil
 	u.interrupt = false
+	if u.faults != nil && len(out) > 0 {
+		u.stats.SamplesCorrupted += uint64(u.faults.CorruptDrained(out))
+	}
 	return out
 }
 

@@ -78,6 +78,14 @@ type Config struct {
 	// reads the profile registers (per delivered interrupt).
 	InterruptCost int
 
+	// WatchdogCycles bounds how long the ROB may sit non-empty with no
+	// retirement before Run gives up with ErrLivelock instead of looping
+	// forever (0 disables the watchdog). It must exceed the longest
+	// legitimate stall — worst-case memory latency plus interrupt
+	// delivery — by a wide margin; DefaultWatchdogCycles is far above
+	// both.
+	WatchdogCycles int
+
 	// UninterruptibleStart/End mark a PC range of high-priority code
 	// (like Alpha PALcode, §2.2): no interrupt — counter overflow or
 	// ProfileMe — is recognized while the restart PC lies inside
@@ -129,6 +137,7 @@ func DefaultConfig() Config {
 		TakenBranchBubble:   1,
 		ReplayTraps:         true,
 		InterruptCost:       30,
+		WatchdogCycles:      DefaultWatchdogCycles,
 		IPCWindowCycles:     30,
 		TrackPerPC:          true,
 		Lat:                 DefaultLatencies(),
@@ -146,6 +155,11 @@ func InOrderConfig() Config {
 	cfg.ReplayTraps = false // in-order issue cannot reorder loads past stores
 	return cfg
 }
+
+// DefaultWatchdogCycles is the default retire-progress bound: orders of
+// magnitude above any legitimate stall (hundreds of cycles of memory
+// latency, tens of cycles of interrupt delivery).
+const DefaultWatchdogCycles = 1_000_000
 
 // Validate reports a configuration problem, or nil.
 func (c Config) Validate() error {
@@ -168,6 +182,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cpu: all latencies must be at least 1 cycle")
 	case c.TrackWindowedIPC && c.IPCWindowCycles < 1:
 		return fmt.Errorf("cpu: windowed IPC needs a positive window")
+	case c.MispredictPenalty < 0 || c.TakenBranchBubble < 0:
+		return fmt.Errorf("cpu: negative front-end penalty")
+	case c.InterruptCost < 0:
+		return fmt.Errorf("cpu: negative interrupt cost")
+	case c.WatchdogCycles < 0:
+		return fmt.Errorf("cpu: negative watchdog bound")
 	}
 	return c.Bpred.Validate()
 }

@@ -98,6 +98,12 @@ type Pipeline struct {
 	profHandler func([]core.Sample)
 	ctrs        *counters.Unit
 
+	// Fault injection (delivery-side) and the retire-progress watchdog.
+	faults         FaultInjector
+	intHoldUntil   int64
+	intHoldDecided bool
+	lastProgress   int64 // last cycle the ROB retired or went empty
+
 	iqDirty bool // a squash left dead entries in the issue queues
 
 	iid *IIDSampler // optional Westcott & White baseline sampler (§8)
@@ -161,6 +167,21 @@ func (p *Pipeline) AttachProfileMe(u *core.Unit, handler func([]core.Sample)) {
 // AttachCounters plugs baseline event-counter hardware into the pipeline.
 func (p *Pipeline) AttachCounters(u *counters.Unit) { p.ctrs = u }
 
+// FaultInjector is the delivery-side fault hook (internal/faultinject
+// implements it alongside core.FaultInjector). Methods must be
+// deterministic given the plan's seed; a nil injector is fault-free.
+type FaultInjector interface {
+	// HoldInterrupt is consulted once each time a ProfileMe interrupt
+	// becomes deliverable; it returns how many cycles delivery is
+	// withheld (0 = deliver normally). While withheld, the Unit keeps
+	// sampling into a full buffer and sheds or overwrites samples.
+	HoldInterrupt() int64
+}
+
+// AttachFaults arms a delivery-side fault plan (nil detaches). Attach the
+// same plan to the core.Unit so one seeded stream drives both layers.
+func (p *Pipeline) AttachFaults(fi FaultInjector) { p.faults = fi }
+
 // Hierarchy exposes the memory hierarchy (tests, cache-warming).
 func (p *Pipeline) Hierarchy() *mem.Hierarchy { return p.hier }
 
@@ -189,6 +210,13 @@ func (p *Pipeline) IPCWindows() []uint32 {
 // drained.
 var ErrCycleLimit = errors.New("cpu: cycle limit reached")
 
+// ErrLivelock reports that the retire-progress watchdog fired: instructions
+// were in flight but none retired for Config.WatchdogCycles cycles. A
+// correct pipeline never livelocks, so this converts a would-be infinite
+// Run loop (a simulator bug, or a pathological injected-fault interaction)
+// into a typed error with the machine state finalized.
+var ErrLivelock = errors.New("cpu: pipeline livelock")
+
 // Run simulates until the instruction stream is exhausted and the pipeline
 // has drained, or maxCycles elapse (maxCycles <= 0 means no limit).
 func (p *Pipeline) Run(maxCycles int64) (Result, error) {
@@ -200,10 +228,31 @@ func (p *Pipeline) Run(maxCycles int64) (Result, error) {
 			p.finish()
 			return p.res, fmt.Errorf("%w (%d)", ErrCycleLimit, maxCycles)
 		}
+		if err := p.watchdog(); err != nil {
+			p.finish()
+			return p.res, err
+		}
 		p.step()
 	}
 	p.finish()
 	return p.res, nil
+}
+
+// watchdog reports ErrLivelock when the ROB has been non-empty with no
+// retirement for longer than the configured bound.
+func (p *Pipeline) watchdog() error {
+	if p.cfg.WatchdogCycles <= 0 {
+		return nil
+	}
+	if p.robCount == 0 {
+		p.lastProgress = p.cycle
+		return nil
+	}
+	if p.cycle-p.lastProgress > int64(p.cfg.WatchdogCycles) {
+		return fmt.Errorf("%w: no retirement for %d cycles at cycle %d (%d in flight)",
+			ErrLivelock, p.cycle-p.lastProgress, p.cycle, p.robCount)
+	}
+	return nil
 }
 
 // RunFor advances the pipeline by up to cycles cycles and pauses without
@@ -926,7 +975,8 @@ func (p *Pipeline) retireStage() {
 		u := p.rob[p.robHead]
 		if u.state == stSquashed {
 			p.robPop()
-			continue // squashed entries drain without consuming width
+			p.lastProgress = p.cycle // draining squashed entries is progress
+			continue
 		}
 		if u.state != stCompleted || retired >= p.cfg.RetireWidth {
 			break
@@ -936,6 +986,7 @@ func (p *Pipeline) retireStage() {
 		p.ren.release(u.oldDst)
 		p.res.Retired++
 		p.res.IssuedUseful++
+		p.lastProgress = p.cycle
 		retired++
 
 		if p.prof != nil && u.tag != core.NoTag {
@@ -1018,6 +1069,24 @@ func (p *Pipeline) interruptStage() {
 		p.ctrs.Tick(p.cycle, pc)
 	}
 	if p.prof != nil && p.prof.InterruptPending() {
+		if p.faults != nil {
+			// One hold decision per raised interrupt: injected delivery
+			// delay, coalescing window, or stalled drain. Fetch is NOT
+			// frozen while the interrupt is withheld — the machine runs
+			// on and the Unit sheds samples, which is the hazard.
+			if !p.intHoldDecided {
+				p.intHoldDecided = true
+				if h := p.faults.HoldInterrupt(); h > 0 {
+					p.intHoldUntil = p.cycle + h
+					p.res.InterruptsHeld++
+					p.res.InterruptHoldCycles += h
+				}
+			}
+			if p.cycle < p.intHoldUntil {
+				return
+			}
+			p.intHoldDecided = false
+		}
 		p.deliverProfileInterrupt()
 		p.fetchStallUntil = maxI64(p.fetchStallUntil, p.cycle+1+int64(p.cfg.InterruptCost))
 		p.res.InterruptStall += int64(p.cfg.InterruptCost)

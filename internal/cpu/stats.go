@@ -17,6 +17,10 @@ type Result struct {
 	InterruptStall  int64  // cycles fetch was frozen for interrupt delivery
 	IssuedUseful    uint64 // issued instructions that eventually retired
 	IssuedWasted    uint64 // issued instructions that were squashed
+
+	// Fault-injection visibility (zero without an attached FaultInjector).
+	InterruptsHeld      uint64 // deliveries postponed by injected faults
+	InterruptHoldCycles int64  // total postponement across held deliveries
 }
 
 // IPC returns retired instructions per cycle.

@@ -1,0 +1,208 @@
+package faultinject_test
+
+import (
+	"testing"
+
+	"profileme/internal/core"
+	"profileme/internal/cpu"
+	"profileme/internal/faultinject"
+	"profileme/internal/profile"
+	"profileme/internal/sim"
+	"profileme/internal/workload"
+)
+
+// The chaos soak drives the full sampling stack — pipeline, ProfileMe
+// unit, interrupt delivery, software database — under increasing fault
+// rates and checks the paper's degradation claim (§6: losses are
+// acceptable as long as they are statistically unbiased): the hot-PC
+// ranking survives, loss-corrected estimates stay near ground truth, and
+// observed loss grows with the injected rate rather than cliffing.
+
+const (
+	soakScale    = 200_000
+	soakInterval = 16
+)
+
+type soakRun struct {
+	db    *profile.DB
+	res   cpu.Result
+	truth []cpu.PCStats
+	stats core.Stats
+}
+
+// runChaos runs bench through the full stack with the given fault plan
+// (nil means fault-free) and wires the loss accounting exactly as pmsim
+// does.
+func runChaos(t *testing.T, bench string, rates *faultinject.Rates, seed uint64) soakRun {
+	t.Helper()
+	b, ok := workload.ByName(bench)
+	if !ok {
+		t.Fatalf("no benchmark %q", bench)
+	}
+	prog := b.Build(soakScale)
+
+	ccfg := cpu.DefaultConfig()
+	unit, err := core.NewUnit(core.Config{
+		MeanInterval: soakInterval,
+		Window:       80,
+		BufferDepth:  8,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := profile.NewDB(soakInterval, 80, ccfg.SustainedIssueWidth)
+	pipe, err := cpu.New(prog, sim.NewMachineSource(sim.New(prog), 0), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.AttachProfileMe(unit, db.Handler())
+	if rates != nil {
+		plan, err := faultinject.NewPlan(seed, *rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unit.AttachFaults(plan)
+		pipe.AttachFaults(plan)
+	}
+	res, err := pipe.Run(0)
+	if err != nil {
+		t.Fatalf("%s: run failed under faults: %v", bench, err)
+	}
+	st := unit.Stats()
+	if rates != nil {
+		db.RecordLoss(st.SamplesDropped + st.SamplesOverwritten)
+	}
+	if captured := st.Captured(); captured > 0 {
+		db.S = float64(res.FetchedOnPath) / float64(captured)
+	}
+	return soakRun{db: db, res: res, truth: pipe.PerPC(), stats: st}
+}
+
+func topPCs(db *profile.DB, n int) []uint64 {
+	var pcs []uint64
+	for _, a := range db.HotPCs(n) {
+		pcs = append(pcs, a.PC)
+	}
+	return pcs
+}
+
+func overlap(a, b []uint64) int {
+	set := make(map[uint64]bool, len(a))
+	for _, pc := range a {
+		set[pc] = true
+	}
+	n := 0
+	for _, pc := range b {
+		if set[pc] {
+			n++
+		}
+	}
+	return n
+}
+
+// retireTruth sums ground-truth retire counts over the given PCs.
+func retireTruth(truth []cpu.PCStats, pcs []uint64) float64 {
+	byPC := make(map[uint64]uint64, len(truth))
+	for _, s := range truth {
+		byPC[s.PC] = s.Retired
+	}
+	var sum float64
+	for _, pc := range pcs {
+		sum += float64(byPC[pc])
+	}
+	return sum
+}
+
+// retireEstimate sums loss-corrected retire estimates over the given PCs.
+func retireEstimate(db *profile.DB, pcs []uint64) float64 {
+	var sum float64
+	for _, pc := range pcs {
+		sum += db.EstimatedEventCount(pc, core.EvRetired)
+	}
+	return sum
+}
+
+func TestChaosSoakDegradation(t *testing.T) {
+	for _, bench := range []string{"compress", "perl"} {
+		t.Run(bench, func(t *testing.T) {
+			clean := runChaos(t, bench, nil, 0)
+			cleanTop := topPCs(clean.db, 10)
+			if len(cleanTop) < 10 {
+				t.Fatalf("fault-free run produced only %d hot PCs", len(cleanTop))
+			}
+
+			prevLoss := 0.0
+			for _, rate := range []float64{0.1, 0.2, 0.3} {
+				rates := faultinject.Uniform(rate)
+				run := runChaos(t, bench, &rates, 99)
+
+				// The hot-instruction ranking must survive the faults.
+				if got := overlap(cleanTop, topPCs(run.db, 10)); got < 8 {
+					t.Errorf("rate %.0f%%: top-10 overlap %d/10, want >= 8",
+						100*rate, got)
+				}
+
+				// Loss-corrected retire estimates stay near ground truth,
+				// aggregated over the fault-free hot set (per-PC noise and
+				// the rare corrupted-but-sane PC flip average out).
+				truth := retireTruth(run.truth, cleanTop)
+				est := retireEstimate(run.db, cleanTop)
+				if rel := (est - truth) / truth; rel < -0.15 || rel > 0.15 {
+					t.Errorf("rate %.0f%%: hot-set retire estimate %.0f vs truth %.0f (%.1f%% off)",
+						100*rate, est, truth, 100*rel)
+				}
+
+				// The whole-program estimate holds up too.
+				total := retireEstimate(run.db, allPCs(run.db))
+				if rel := (total - float64(run.res.Retired)) / float64(run.res.Retired); rel < -0.15 || rel > 0.15 {
+					t.Errorf("rate %.0f%%: total retire estimate %.0f vs %d retired (%.1f%% off)",
+						100*rate, total, run.res.Retired, 100*rel)
+				}
+
+				// Degradation is graceful: observed loss grows with the
+				// injected rate instead of collapsing at a threshold.
+				loss := run.db.LossRate()
+				if loss <= prevLoss {
+					t.Errorf("rate %.0f%%: loss rate %.3f not above previous %.3f",
+						100*rate, loss, prevLoss)
+				}
+				if loss > 0.75 {
+					t.Errorf("rate %.0f%%: loss rate %.3f — degradation is a cliff, not a slope",
+						100*rate, loss)
+				}
+				prevLoss = loss
+			}
+		})
+	}
+}
+
+func allPCs(db *profile.DB) []uint64 { return db.PCs() }
+
+// TestChaosTotalInterruptLoss drops every profiling interrupt: the
+// simulation must still terminate cleanly (the pipeline never depends on
+// delivery for forward progress), with the buffer shedding samples and
+// the end-of-run drain recovering what little remains.
+func TestChaosTotalInterruptLoss(t *testing.T) {
+	rates := faultinject.Rates{DropInterrupt: 1}
+	run := runChaos(t, "compress", &rates, 7)
+	if run.res.Retired == 0 {
+		t.Fatal("no instructions retired")
+	}
+	if run.stats.Interrupts != 0 {
+		t.Fatalf("%d interrupts delivered despite total drop", run.stats.Interrupts)
+	}
+	if run.stats.InterruptsSuppressed == 0 {
+		t.Fatal("no interrupts suppressed — fault plan was not consulted")
+	}
+	if run.stats.SamplesDropped == 0 {
+		t.Fatal("buffer never overflowed — scenario did not stress the drain")
+	}
+	// The final drain still salvages one buffer's worth of samples.
+	if run.db.Samples() == 0 {
+		t.Fatal("end-of-run drain recovered nothing")
+	}
+	if run.db.LossRate() < 0.5 {
+		t.Fatalf("loss rate %.3f implausibly low for total interrupt loss", run.db.LossRate())
+	}
+}

@@ -127,6 +127,15 @@ type DB struct {
 	samples uint64
 	pairs   uint64
 
+	// Loss accounting: lost counts samples the hardware captured but
+	// never delivered (reported via RecordLoss), corruptRejected counts
+	// delivered samples Add refused as damaged. Random losses leave the
+	// delivered subset unbiased, so the Est* estimators scale by the
+	// observed loss rate to stay centred (the paper's §4.3 argument that
+	// random drops are acceptable, made operational).
+	lost            uint64
+	corruptRejected uint64
+
 	metricNames []string
 	metricFns   []OverlapFunc
 }
@@ -156,6 +165,42 @@ func (db *DB) Samples() uint64 { return db.samples }
 // Pairs returns the number of paired samples added.
 func (db *DB) Pairs() uint64 { return db.pairs }
 
+// RecordLoss notes n samples captured by the hardware but never delivered
+// to software — buffer-overflow drops, register overwrites, suppressed
+// interrupts (core.Stats.Lost after a run). The Est* estimators scale by
+// the resulting loss rate.
+func (db *DB) RecordLoss(n uint64) { db.lost += n }
+
+// Lost returns the total samples known lost before aggregation: upstream
+// hardware losses plus corrupt samples Add rejected.
+func (db *DB) Lost() uint64 { return db.lost + db.corruptRejected }
+
+// CorruptRejected returns how many delivered samples Add refused because
+// their records violated hardware invariants (bit damage).
+func (db *DB) CorruptRejected() uint64 { return db.corruptRejected }
+
+// LossRate returns the fraction of captured samples that never made it
+// into the database, 0 when nothing was lost.
+func (db *DB) LossRate() float64 {
+	l := db.Lost()
+	if l == 0 {
+		return 0
+	}
+	return float64(l) / float64(db.samples+l)
+}
+
+// lossCorrection is the factor that re-centres count estimators under
+// random loss: delivered samples underestimate by (1 - lossRate), so
+// estimates scale by captured/delivered. With no recorded loss it is 1 and
+// every estimator reduces to the paper's k*S form.
+func (db *DB) lossCorrection() float64 {
+	l := db.Lost()
+	if l == 0 || db.samples == 0 {
+		return 1
+	}
+	return float64(db.samples+l) / float64(db.samples)
+}
+
 // Add folds one ProfileMe sample into the database. This is the interrupt
 // handler's work: O(1) per sample, no retained raw data. Paired samples
 // are considered twice — once from each instruction's point of view — so
@@ -164,6 +209,10 @@ func (db *DB) Pairs() uint64 { return db.pairs }
 // first pair feeds the pair metrics; callers with chain analyses consume
 // Sample.Rest themselves.
 func (db *DB) Add(s core.Sample) {
+	if !recordSane(&s.First) || (s.Paired && !recordSane(&s.Second)) {
+		db.corruptRejected++
+		return
+	}
 	db.samples++
 	if !s.Paired {
 		db.addRecord(&s.First, nil)
@@ -172,6 +221,50 @@ func (db *DB) Add(s core.Sample) {
 	db.pairs++
 	db.addRecord(&s.First, &s.Second)
 	db.addRecord(&s.Second, &s.First)
+}
+
+// maxSaneCycle bounds believable timestamps: a flipped high bit in a cycle
+// counter lands far beyond any simulated run length.
+const maxSaneCycle = int64(1) << 48
+
+// recordSane checks the invariants real hardware guarantees for every
+// Profile Register read: only defined event bits and trap reasons, a
+// plausible history width, and per-stage timestamps that are unset (-1) or
+// monotonically non-decreasing through the pipe with a load's value
+// arriving no earlier than its issue. Samples failing these checks are bit
+// damage and are rejected rather than folded into the estimators. Low-bit
+// timestamp damage is indistinguishable from timing jitter and passes —
+// that is the graceful half of degradation.
+func recordSane(r *core.Record) bool {
+	if r.Events&^core.KnownEvents != 0 {
+		return false
+	}
+	if !r.Trap.Known() {
+		return false
+	}
+	if r.HistoryBits < 0 || r.HistoryBits > 64 {
+		return false
+	}
+	last := int64(-1)
+	for _, c := range r.StageCycle {
+		if c < -1 || c > maxSaneCycle {
+			return false
+		}
+		if c >= 0 {
+			if c < last {
+				return false
+			}
+			last = c
+		}
+	}
+	if r.LoadComplete < -1 || r.LoadComplete > maxSaneCycle {
+		return false
+	}
+	if r.LoadComplete >= 0 && r.StageCycle[core.StageIssue] >= 0 &&
+		r.LoadComplete < r.StageCycle[core.StageIssue] {
+		return false
+	}
+	return true
 }
 
 func (db *DB) acc(pc uint64) *PCAccum {
@@ -263,7 +356,7 @@ func (db *DB) EstimatePairMetric(pc uint64, idx int) (est float64, ok bool) {
 	if idx < len(a.PairMetrics) {
 		k = a.PairMetrics[idx]
 	}
-	return float64(k) * float64(db.W) * db.S, true
+	return float64(k) * float64(db.W) * db.S * db.lossCorrection(), true
 }
 
 // Get returns the accumulator for pc, or nil.
@@ -280,22 +373,24 @@ func (db *DB) PCs() []uint64 {
 }
 
 // EstimatedCount estimates how many times pc was fetched (on the predicted
-// path) over the run: samples * S.
+// path) over the run: samples * S, scaled up by the observed loss rate
+// when RecordLoss has reported upstream sample loss.
 func (db *DB) EstimatedCount(pc uint64) float64 {
 	a := db.byPC[pc]
 	if a == nil {
 		return 0
 	}
-	return EstimateCount(a.Samples, db.S)
+	return EstimateCount(a.Samples, db.S) * db.lossCorrection()
 }
 
-// EstimatedEventCount estimates the number of occurrences of ev at pc.
+// EstimatedEventCount estimates the number of occurrences of ev at pc,
+// loss-corrected like EstimatedCount.
 func (db *DB) EstimatedEventCount(pc uint64, ev core.Event) float64 {
 	a := db.byPC[pc]
 	if a == nil {
 		return 0
 	}
-	return EstimateCount(a.EventCount(ev), db.S)
+	return EstimateCount(a.EventCount(ev), db.S) * db.lossCorrection()
 }
 
 // WastedSlots computes the §5.2.3 wasted-issue-slot estimate for pc:
@@ -310,8 +405,12 @@ func (db *DB) WastedSlots(pc uint64) (wasted, total, useful float64, ok bool) {
 	if a == nil || a.PairSamples == 0 {
 		return 0, 0, 0, false
 	}
-	total = float64(a.InProgressSum) * float64(db.C) * db.S / 2
-	useful = float64(a.UsefulOverlap) * float64(db.W) * db.S
+	// Both terms are linear in sample counts, so the loss correction
+	// scales them identically; their ratio (and NeighborhoodIPC, a pure
+	// ratio) needs no correction at all.
+	corr := db.lossCorrection()
+	total = float64(a.InProgressSum) * float64(db.C) * db.S / 2 * corr
+	useful = float64(a.UsefulOverlap) * float64(db.W) * db.S * corr
 	wasted = total - useful
 	if wasted < 0 {
 		wasted = 0
@@ -356,6 +455,10 @@ func (db *DB) HotPCs(n int) []*PCAccum {
 func (db *DB) Report(prog *isa.Program, n int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d samples (%d paired), mean interval %.0f\n", db.samples, db.pairs, db.S)
+	if l := db.Lost(); l > 0 {
+		fmt.Fprintf(&b, "%d samples lost (%d corrupt-rejected), loss rate %.1f%%; estimates loss-corrected\n",
+			l, db.corruptRejected, 100*db.LossRate())
+	}
 	fmt.Fprintf(&b, "%-10s %-24s %8s %14s %7s %7s %7s %9s\n",
 		"PC", "instruction", "samples", "est.cnt(±95%)", "ret%", "dmiss%", "mispr%", "avg-lat")
 	for _, a := range db.HotPCs(n) {
@@ -371,9 +474,9 @@ func (db *DB) Report(prog *isa.Program, n int) string {
 		if a.InProgressCount > 0 {
 			lat = float64(a.InProgressSum) / float64(a.InProgressCount)
 		}
-		lo, hi := ConfidenceInterval(a.Samples, db.S, 1.96)
+		lo, hi := ConfidenceInterval(a.Samples, db.S*db.lossCorrection(), 1.96)
 		fmt.Fprintf(&b, "%-10s %-24s %8d %8.0f±%-5.0f %6.1f%% %6.1f%% %6.1f%% %9.1f\n",
-			name, dis, a.Samples, EstimateCount(a.Samples, db.S), (hi-lo)/2,
+			name, dis, a.Samples, db.EstimatedCount(a.PC), (hi-lo)/2,
 			100*RateEstimate(a.Retired(), a.Samples),
 			100*RateEstimate(a.EventCount(core.EvDCacheMiss), a.Samples),
 			100*RateEstimate(a.EventCount(core.EvMispredict), a.Samples),
