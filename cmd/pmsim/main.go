@@ -9,9 +9,17 @@
 //	pmsim -gen 42                          # profile a generated program
 //	pmsim -bench ijpeg -paired             # paired sampling + concurrency
 //	pmsim -bench go -inorder               # 21164-like in-order pipeline
+//
+// Fleet mode runs a supervised profiling campaign — benchmark × shards
+// jobs across a worker pool with retries, checkpointing, and graceful
+// drain on SIGINT/SIGTERM:
+//
+//	pmsim -bench compress -fleet 4 -shards 16 -checkpoint /tmp/camp
+//	pmsim -bench compress -fleet 4 -shards 16 -checkpoint /tmp/camp -resume
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +55,14 @@ func main() {
 		chaos     = flag.Float64("chaos", 0, "fault-injection rate 0..1: drop/delay/coalesce interrupts, stall drains, overwrite and corrupt samples")
 		chaosSeed = flag.Uint64("chaos-seed", 1, "fault-injection RNG seed")
 		list      = flag.Bool("list", false, "list the suite benchmarks and exit")
+
+		fleetN     = flag.Int("fleet", 0, "fleet mode: run a supervised campaign across this many workers")
+		shards     = flag.Int("shards", 4, "fleet mode: sampling shards per benchmark")
+		checkpoint = flag.String("checkpoint", "", "fleet mode: checkpoint directory for crash-safe campaign state")
+		resume     = flag.Bool("resume", false, "fleet mode: resume the campaign in -checkpoint instead of starting fresh")
+		deadline   = flag.Duration("deadline", 0, "per-job wall-clock deadline, enforced as real cancellation (0 = none)")
+		fleetSeed  = flag.Uint64("seed", 1, "fleet mode: campaign seed; per-shard sampling seeds derive from it")
+		watchdog   = flag.Int("watchdog", cpu.DefaultWatchdogCycles, "retire-progress watchdog bound in cycles (0 disables livelock detection)")
 	)
 	flag.Parse()
 	if *list {
@@ -57,6 +73,63 @@ func main() {
 	}
 	if *edges {
 		*paired = true
+	}
+
+	set := explicitFlags(flag.CommandLine)
+	fv := flagValues{
+		chaos:    *chaos,
+		fleet:    *fleetN,
+		shards:   *shards,
+		deadline: *deadline,
+		watchdog: *watchdog,
+		interval: *interval,
+		scale:    *scale,
+		resume:   *resume,
+		ckptDir:  *checkpoint,
+		set:      set,
+	}
+	if err := fv.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *fleetN > 0 || *resume {
+		benches, err := parseBenches(*benchName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if len(benches) == 0 && *genSeed == 0 {
+			fmt.Fprintf(os.Stderr, "pmsim: fleet mode needs -bench <name[,name...]> or -gen <seed>; benchmarks: %s\n",
+				strings.Join(workload.Names(), ", "))
+			os.Exit(2)
+		}
+		ccfg := cpu.DefaultConfig()
+		if *inorder {
+			ccfg = cpu.InOrderConfig()
+		}
+		ccfg.WatchdogCycles = *watchdog
+		workers := *fleetN
+		if workers == 0 {
+			workers = 1 // -resume without -fleet
+		}
+		os.Exit(runFleet(fleetOptions{
+			benches:    benches,
+			genSeed:    *genSeed,
+			scale:      *scale,
+			shards:     *shards,
+			workers:    workers,
+			interval:   *interval,
+			buffer:     *buffer,
+			chaos:      *chaos,
+			seed:       *fleetSeed,
+			deadline:   *deadline,
+			checkpoint: *checkpoint,
+			resume:     *resume,
+			ccfg:       ccfg,
+			top:        *top,
+			saveTo:     *saveTo,
+		}))
 	}
 
 	prog, name, err := pickProgram(*benchName, *genSeed, *scale)
@@ -72,6 +145,7 @@ func main() {
 	if *inorder {
 		ccfg = cpu.InOrderConfig()
 	}
+	ccfg.WatchdogCycles = *watchdog
 	cm := core.CountInstructions
 	if *countMode == "opportunities" {
 		cm = core.CountFetchOpportunities
@@ -125,7 +199,14 @@ func main() {
 		unit.AttachFaults(plan)
 		pipe.AttachFaults(plan)
 	}
-	res, err := pipe.Run(0)
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, *deadline,
+			fmt.Errorf("pmsim: -deadline %v expired", *deadline))
+		defer cancel()
+	}
+	res, err := pipe.RunContext(ctx, 0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -164,31 +245,14 @@ func main() {
 		fmt.Print(edgeDB.Report(prog, *top))
 	}
 	if *saveTo != "" {
-		if err := saveProfile(db, *saveTo); err != nil {
+		// Atomic save: a failed write leaves any previous database at
+		// this path untouched (profile.SaveFile writes temp+fsync+rename).
+		if err := profile.SaveFile(db, *saveTo); err != nil {
 			fmt.Fprintf(os.Stderr, "pmsim: profile database NOT saved: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("\nprofile database saved to %s\n", *saveTo)
 	}
-}
-
-// saveProfile writes the database to path, removing the partial file if
-// the write fails mid-way so a truncated image is never left behind.
-func saveProfile(db *profile.DB, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := db.Save(f); err != nil {
-		f.Close()
-		os.Remove(path)
-		return fmt.Errorf("writing %s: %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(path)
-		return fmt.Errorf("closing %s: %w", path, err)
-	}
-	return nil
 }
 
 // printDegradation reports what fault injection did to the sampling stack

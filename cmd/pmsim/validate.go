@@ -1,0 +1,55 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+)
+
+// flagValues carries the parsed flags that validate checks up front, plus
+// the set of flag names the user passed explicitly (flag.Visit): -fleet,
+// -shards and -deadline have meaningful zero defaults, so only explicit
+// nonsense is rejected for them.
+type flagValues struct {
+	chaos    float64
+	fleet    int
+	shards   int
+	deadline time.Duration
+	watchdog int
+	interval float64
+	scale    int
+	resume   bool
+	ckptDir  string
+	set      map[string]bool
+}
+
+func explicitFlags(fs *flag.FlagSet) map[string]bool {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
+// validate rejects bad flag combinations before any simulator state is
+// built, so misuse fails fast with a clear message instead of surfacing
+// as a confusing mid-run error.
+func (v flagValues) validate() error {
+	switch {
+	case v.chaos < 0 || v.chaos > 1:
+		return fmt.Errorf("pmsim: -chaos %g out of range: fault rate must be in [0,1]", v.chaos)
+	case v.set["fleet"] && v.fleet < 1:
+		return fmt.Errorf("pmsim: -fleet %d: the worker pool needs at least 1 worker", v.fleet)
+	case v.set["shards"] && v.shards < 1:
+		return fmt.Errorf("pmsim: -shards %d: a campaign needs at least 1 shard per benchmark", v.shards)
+	case v.set["deadline"] && v.deadline <= 0:
+		return fmt.Errorf("pmsim: -deadline %v: per-job deadline must be positive", v.deadline)
+	case v.watchdog < 0:
+		return fmt.Errorf("pmsim: -watchdog %d: retire-progress bound must be ≥ 0 (0 disables it)", v.watchdog)
+	case v.interval < 1:
+		return fmt.Errorf("pmsim: -interval %g: mean sampling interval must be ≥ 1", v.interval)
+	case v.scale < 1:
+		return fmt.Errorf("pmsim: -scale %d: instruction budget must be ≥ 1", v.scale)
+	case v.resume && v.ckptDir == "":
+		return fmt.Errorf("pmsim: -resume needs -checkpoint <dir> pointing at the campaign to continue")
+	}
+	return nil
+}

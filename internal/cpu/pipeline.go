@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -217,9 +218,31 @@ var ErrCycleLimit = errors.New("cpu: cycle limit reached")
 // into a typed error with the machine state finalized.
 var ErrLivelock = errors.New("cpu: pipeline livelock")
 
+// ErrCanceled reports that RunContext's context was canceled or its
+// deadline expired before the program drained. The pipeline is finalized
+// and the partial Result is valid — a supervisor can still harvest
+// whatever profiling the run accumulated, or retry.
+var ErrCanceled = errors.New("cpu: run canceled")
+
+// ctxCheckCycles is how many simulated cycles elapse between context
+// polls in RunContext: coarse enough that the select stays off the hot
+// path, fine enough that cancellation lands within microseconds of real
+// time.
+const ctxCheckCycles = 1024
+
 // Run simulates until the instruction stream is exhausted and the pipeline
 // has drained, or maxCycles elapse (maxCycles <= 0 means no limit).
 func (p *Pipeline) Run(maxCycles int64) (Result, error) {
+	return p.RunContext(context.Background(), maxCycles)
+}
+
+// RunContext is Run with real cancellation plumbed in: between cycle
+// batches it checks ctx and, once the context is done, finalizes the
+// machine state and returns the partial Result with an error matching
+// ErrCanceled. A fleet supervisor uses this to impose per-job wall-clock
+// deadlines and to hard-stop in-flight jobs during a drain.
+func (p *Pipeline) RunContext(ctx context.Context, maxCycles int64) (Result, error) {
+	done := ctx.Done()
 	for {
 		if p.done() {
 			break
@@ -231,6 +254,14 @@ func (p *Pipeline) Run(maxCycles int64) (Result, error) {
 		if err := p.watchdog(); err != nil {
 			p.finish()
 			return p.res, err
+		}
+		if done != nil && p.cycle%ctxCheckCycles == 0 {
+			select {
+			case <-done:
+				p.finish()
+				return p.res, fmt.Errorf("%w at cycle %d: %v", ErrCanceled, p.cycle, context.Cause(ctx))
+			default:
+			}
 		}
 		p.step()
 	}

@@ -172,6 +172,12 @@ func (db *DB) RestorePairMetrics(fns map[string]OverlapFunc) error {
 // Merge folds other into db (multi-run aggregation; both databases must
 // share the sampling configuration and metric registrations).
 func (db *DB) Merge(other *DB) error {
+	if db == other {
+		// Iterating other.byPC while acc() mutates the same map is
+		// undefined; a fleet bug that hands the aggregate to itself must
+		// fail loudly, not double-count or corrupt the map.
+		return fmt.Errorf("profile: merge: cannot merge a database into itself")
+	}
 	if db.S != other.S || db.W != other.W || db.C != other.C || db.TNear != other.TNear {
 		return fmt.Errorf("profile: merge: configurations differ")
 	}

@@ -1,0 +1,202 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"profileme/internal/profile"
+)
+
+// The on-disk checkpoint is a generation-numbered pair of files:
+//
+//	profile-<gen>.db    the aggregate database (CRC32-C envelope)
+//	manifest-<gen>.json the campaign ledger referencing that database
+//
+// Both are written atomically (temp + fsync + rename), database first,
+// manifest last: a crash between the two leaves the previous manifest —
+// which references the previous, still-present database — as the newest
+// complete checkpoint, so at most the one job merged since then re-runs.
+// The two newest generations are kept; older ones are pruned. A
+// checkpoint that fails to parse or fails its CRC is quarantined by
+// renaming both files to *.corrupt and the previous generation is used.
+
+const manifestVersion = 1
+
+// Manifest is the JSON campaign ledger.
+type Manifest struct {
+	Version    int    `json:"version"`
+	Generation uint64 `json:"generation"`
+	// FleetSeed pins the manifest to one campaign: Resume refuses a
+	// checkpoint whose seed disagrees with the configuration.
+	FleetSeed uint64 `json:"fleet_seed"`
+	// DBFile names the aggregate database of this generation ("" before
+	// the first completed job).
+	DBFile string `json:"db_file,omitempty"`
+	// Completed lists merged job IDs in merge order, each exactly once.
+	Completed []string    `json:"completed"`
+	Jobs      []JobRecord `json:"jobs"`
+	Totals    Totals      `json:"totals"`
+	Drained   bool        `json:"drained,omitempty"`
+}
+
+// Totals are the campaign counters that cannot be recomputed from the
+// aggregate database alone.
+type Totals struct {
+	Retired           uint64 `json:"retired"`
+	Cycles            int64  `json:"cycles"`
+	SamplesCaptured   uint64 `json:"samples_captured"`
+	InterruptsDropped uint64 `json:"interrupts_dropped,omitempty"`
+	SamplesCorrupted  uint64 `json:"samples_corrupted,omitempty"`
+}
+
+func manifestFileName(gen uint64) string { return fmt.Sprintf("manifest-%08d.json", gen) }
+func dbFileName(gen uint64) string       { return fmt.Sprintf("profile-%08d.db", gen) }
+
+// checkpoint writes generation gen+1: aggregate database, then manifest.
+func (f *Fleet) checkpoint() error {
+	dir := f.cfg.CheckpointDir
+	if dir == "" {
+		return nil
+	}
+	gen := f.gen + 1
+	m := Manifest{
+		Version:    manifestVersion,
+		Generation: gen,
+		FleetSeed:  f.cfg.Seed,
+		Completed:  f.completed,
+		Totals:     f.totals,
+		Drained:    f.drained,
+	}
+	for _, rec := range f.records {
+		m.Jobs = append(m.Jobs, *rec)
+	}
+	if f.agg != nil {
+		m.DBFile = dbFileName(gen)
+		if err := profile.SaveFile(f.agg, filepath.Join(dir, m.DBFile)); err != nil {
+			return fmt.Errorf("runner: checkpoint: %w", err)
+		}
+	}
+	err := profile.WriteAtomic(filepath.Join(dir, manifestFileName(gen)), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+	if err != nil {
+		return fmt.Errorf("runner: checkpoint: %w", err)
+	}
+	f.gen = gen
+	f.prune()
+	return nil
+}
+
+// manifestGens lists the manifest generations present in dir, newest
+// first (quarantined *.corrupt files are ignored).
+func manifestGens(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("runner: checkpoint dir: %w", err)
+	}
+	var gens []uint64
+	for _, e := range entries {
+		var gen uint64
+		if n, _ := fmt.Sscanf(e.Name(), "manifest-%d.json", &gen); n == 1 &&
+			e.Name() == manifestFileName(gen) {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	return gens, nil
+}
+
+// loadCheckpoint returns the newest checkpoint that passes every
+// integrity check: manifest parses, version matches, completed IDs are
+// unique, and the referenced database's CRC envelope verifies. A failing
+// generation is quarantined (renamed *.corrupt) and the next older one
+// tried. (nil, nil, nil) means no usable checkpoint exists.
+func loadCheckpoint(dir string, logf func(string, ...any)) (*Manifest, *profile.DB, error) {
+	gens, err := manifestGens(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, gen := range gens {
+		mPath := filepath.Join(dir, manifestFileName(gen))
+		m, db, err := loadGeneration(dir, mPath)
+		if err == nil {
+			return m, db, nil
+		}
+		logf("quarantining corrupt checkpoint generation %d: %v", gen, err)
+		quarantine(mPath)
+		// The database file may be damaged even when the manifest names
+		// it fine; move it aside with its manifest so the pair stays
+		// together for post-mortems.
+		if m != nil && m.DBFile != "" {
+			quarantine(filepath.Join(dir, m.DBFile))
+		} else {
+			quarantine(filepath.Join(dir, dbFileName(gen)))
+		}
+	}
+	return nil, nil, nil
+}
+
+// loadGeneration parses one manifest and verifies its database. It
+// returns the manifest even on error when it parsed (so the caller can
+// quarantine the right database file).
+func loadGeneration(dir, mPath string) (*Manifest, *profile.DB, error) {
+	raw, err := os.ReadFile(mPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, nil, fmt.Errorf("manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return &m, nil, fmt.Errorf("manifest version %d, this build reads %d", m.Version, manifestVersion)
+	}
+	seen := make(map[string]bool, len(m.Completed))
+	for _, id := range m.Completed {
+		if seen[id] {
+			return &m, nil, fmt.Errorf("manifest lists job %q as completed twice", id)
+		}
+		seen[id] = true
+	}
+	var db *profile.DB
+	if m.DBFile != "" {
+		db, err = profile.LoadFile(filepath.Join(dir, m.DBFile))
+		if err != nil {
+			return &m, nil, err
+		}
+	}
+	return &m, db, nil
+}
+
+func quarantine(path string) {
+	if _, err := os.Stat(path); err != nil {
+		return
+	}
+	os.Rename(path, path+".corrupt")
+}
+
+// prune removes checkpoint generations older than the previous one
+// (best-effort): the current and prior generations stay so a corrupt
+// newest checkpoint always has a fallback.
+func (f *Fleet) prune() {
+	gens, err := manifestGens(f.cfg.CheckpointDir)
+	if err != nil {
+		return
+	}
+	for _, gen := range gens {
+		if gen+1 >= f.gen {
+			continue
+		}
+		os.Remove(filepath.Join(f.cfg.CheckpointDir, manifestFileName(gen)))
+		os.Remove(filepath.Join(f.cfg.CheckpointDir, dbFileName(gen)))
+	}
+}

@@ -1,0 +1,316 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// campaignJobs builds a deterministic sharded campaign.
+func campaignJobs(n, scale int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{ID: fmt.Sprintf("compress/s%03d", i), Bench: "compress", Scale: scale}
+	}
+	return jobs
+}
+
+// hotSet returns the top-n PC set of a fleet's aggregate.
+func hotSet(t *testing.T, f *Fleet, n int) map[uint64]bool {
+	t.Helper()
+	db := f.Profile()
+	if db == nil {
+		t.Fatal("no aggregate profile")
+	}
+	set := make(map[uint64]bool)
+	for _, a := range db.HotPCs(n) {
+		set[a.PC] = true
+	}
+	return set
+}
+
+// TestCheckpointAndResumeCompleted: a finished campaign resumed from its
+// checkpoint has nothing to do and reproduces the same aggregate.
+func TestCheckpointAndResumeCompleted(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(2)
+	cfg.Interval = 128
+	cfg.CheckpointDir = dir
+	jobs := campaignJobs(4, 3000)
+
+	f, err := New(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := mustRun(t, f)
+	if rep.Completed != 4 {
+		t.Fatalf("completed %d/4", rep.Completed)
+	}
+	wantSamples := f.Profile().Samples()
+
+	g, err := Resume(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Completed != 4 || rep2.Pending != 0 {
+		t.Fatalf("resumed report: %+v", rep2)
+	}
+	if rep2.Attempts != rep.Attempts {
+		t.Fatalf("resume re-ran work: %d attempts vs %d", rep2.Attempts, rep.Attempts)
+	}
+	if got := g.Profile().Samples(); got != wantSamples {
+		t.Fatalf("resumed aggregate has %d samples, want %d", got, wantSamples)
+	}
+}
+
+// TestResumeAfterDrainMatchesUninterrupted: drain a campaign partway,
+// resume it, and compare the final aggregate against an uninterrupted
+// campaign with the same seeds: identical sample totals, identical
+// top-10 hot ranking, and no duplicated IDs in the manifest.
+func TestResumeAfterDrainMatchesUninterrupted(t *testing.T) {
+	jobs := campaignJobs(6, 3000)
+
+	// Reference: uninterrupted.
+	refCfg := testConfig(2)
+	refCfg.Interval = 128
+	ref, err := New(refCfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := mustRun(t, ref); rep.Completed != 6 {
+		t.Fatalf("reference completed %d/6", rep.Completed)
+	}
+
+	// Interrupted: cancel once the second result lands, then resume.
+	dir := t.TempDir()
+	cfg := testConfig(1)
+	cfg.Interval = 128
+	cfg.CheckpointDir = dir
+	f, err := New(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for { // watch the ledger via checkpoints: cancel after ~2 jobs merge
+			if m, _, err := loadCheckpoint(dir, func(string, ...any) {}); err == nil && m != nil && len(m.Completed) >= 2 {
+				cancel()
+				return
+			}
+		}
+	}()
+	rep, err := f.Run(ctx)
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pending == 0 {
+		t.Skip("campaign finished before the drain; nothing to resume")
+	}
+
+	g, err := Resume(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Completed != 6 || rep2.Pending != 0 {
+		t.Fatalf("resumed report: %+v", rep2)
+	}
+
+	// Manifest integrity: every job exactly once.
+	m, _, err := loadCheckpoint(dir, func(string, ...any) {})
+	if err != nil || m == nil {
+		t.Fatalf("final checkpoint unreadable: %v", err)
+	}
+	seen := map[string]int{}
+	for _, id := range m.Completed {
+		seen[id]++
+	}
+	if len(seen) != 6 {
+		t.Fatalf("manifest completed %d distinct jobs, want 6", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("job %s completed %d times", id, n)
+		}
+	}
+
+	// Aggregate equivalence with the uninterrupted reference.
+	if a, b := ref.Profile().Samples(), g.Profile().Samples(); a != b {
+		t.Fatalf("sample totals differ: %d vs %d", a, b)
+	}
+	refHot, gotHot := hotSet(t, ref, 10), hotSet(t, g, 10)
+	overlap := 0
+	for pc := range refHot {
+		if gotHot[pc] {
+			overlap++
+		}
+	}
+	if overlap < 8 {
+		t.Fatalf("top-10 hot-PC overlap %d/10 after resume", overlap)
+	}
+}
+
+// TestCorruptManifestQuarantinedFallsBack: a damaged newest manifest is
+// renamed *.corrupt and the previous generation is used.
+func TestCorruptManifestQuarantinedFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(1)
+	cfg.Interval = 128
+	cfg.CheckpointDir = dir
+	jobs := campaignJobs(3, 2000)
+	f, err := New(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, f)
+
+	gens, err := manifestGens(dir)
+	if err != nil || len(gens) < 2 {
+		t.Fatalf("want ≥2 generations, have %v (%v)", gens, err)
+	}
+	newest := filepath.Join(dir, manifestFileName(gens[0]))
+	if err := os.WriteFile(newest, []byte(`{"version":1,"gener`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, db, err := loadCheckpoint(dir, func(string, ...any) {})
+	if err != nil || m == nil {
+		t.Fatalf("no fallback checkpoint: %v", err)
+	}
+	if m.Generation != gens[1] {
+		t.Fatalf("fell back to generation %d, want %d", m.Generation, gens[1])
+	}
+	if db == nil {
+		t.Fatal("fallback database missing")
+	}
+	if _, err := os.Stat(newest + ".corrupt"); err != nil {
+		t.Fatalf("corrupt manifest not quarantined: %v", err)
+	}
+}
+
+// TestCorruptDatabaseQuarantinedFallsBack: a bit-flipped newest database
+// fails its CRC envelope; manifest and database move aside together.
+func TestCorruptDatabaseQuarantinedFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(1)
+	cfg.Interval = 128
+	cfg.CheckpointDir = dir
+	jobs := campaignJobs(3, 2000)
+	f, err := New(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, f)
+
+	gens, _ := manifestGens(dir)
+	if len(gens) < 2 {
+		t.Fatalf("want ≥2 generations, have %v", gens)
+	}
+	dbPath := filepath.Join(dir, dbFileName(gens[0]))
+	img, err := os.ReadFile(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[len(img)/2] ^= 0x20
+	if err := os.WriteFile(dbPath, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, db, err := loadCheckpoint(dir, func(string, ...any) {})
+	if err != nil || m == nil || db == nil {
+		t.Fatalf("no fallback checkpoint: %v", err)
+	}
+	if m.Generation != gens[1] {
+		t.Fatalf("fell back to generation %d, want %d", m.Generation, gens[1])
+	}
+	for _, p := range []string{dbPath, filepath.Join(dir, manifestFileName(gens[0]))} {
+		if _, err := os.Stat(p + ".corrupt"); err != nil {
+			t.Fatalf("%s not quarantined: %v", filepath.Base(p), err)
+		}
+	}
+
+	// Resume proceeds from the fallback and completes the campaign.
+	g, err := Resume(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 3 {
+		t.Fatalf("resumed-from-fallback completed %d/3", rep.Completed)
+	}
+}
+
+// TestNewRefusesExistingCampaign: New must not silently mix into a
+// directory that already holds a campaign.
+func TestNewRefusesExistingCampaign(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(1)
+	cfg.Interval = 128
+	cfg.CheckpointDir = dir
+	jobs := campaignJobs(1, 1000)
+	f, err := New(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, f)
+	if _, err := New(cfg, jobs); err == nil || !strings.Contains(err.Error(), "already holds") {
+		t.Fatalf("New over an existing campaign: %v", err)
+	}
+}
+
+// TestResumeSeedMismatchRefused: resuming with a different fleet seed
+// would mix incompatible sampling streams; it must be refused.
+func TestResumeSeedMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(1)
+	cfg.Interval = 128
+	cfg.CheckpointDir = dir
+	jobs := campaignJobs(1, 1000)
+	f, err := New(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, f)
+	cfg.Seed = 999
+	if _, err := Resume(cfg, jobs); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("seed-mismatched resume: %v", err)
+	}
+}
+
+// TestPruneKeepsTwoGenerations: old checkpoints are garbage-collected,
+// the newest two survive.
+func TestPruneKeepsTwoGenerations(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(1)
+	cfg.Interval = 128
+	cfg.CheckpointDir = dir
+	f, err := New(cfg, campaignJobs(5, 1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, f)
+	gens, err := manifestGens(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 {
+		t.Fatalf("%d generations on disk after prune: %v", len(gens), gens)
+	}
+	if gens[0] != f.Generation() {
+		t.Fatalf("newest generation %d != fleet %d", gens[0], f.Generation())
+	}
+}

@@ -1,0 +1,188 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"profileme/internal/core"
+	"profileme/internal/cpu"
+	"profileme/internal/faultinject"
+	"profileme/internal/isa"
+	"profileme/internal/profile"
+	"profileme/internal/sim"
+	"profileme/internal/workload"
+)
+
+// Job is one unit of campaign work: a benchmark (or generated program) ×
+// scale × shard, profiled with a shard-specific sampling seed. Shards of
+// the same campaign differ only by seed, so their profiles merge into one
+// loss-corrected aggregate exactly like the independent sampled runs the
+// paper's aggregation argument assumes.
+type Job struct {
+	// ID names the job uniquely within the campaign (e.g. "compress/s003");
+	// the checkpoint manifest tracks completion by ID.
+	ID string `json:"id"`
+	// Bench is a workload suite benchmark name; empty means a generated
+	// program from GenSeed.
+	Bench   string `json:"bench,omitempty"`
+	GenSeed uint64 `json:"gen_seed,omitempty"`
+	// Scale is the approximate dynamic instruction count.
+	Scale int `json:"scale"`
+	// ChaosRate arms fault injection at this uniform rate (0 = clean run);
+	// the fault seed is derived from the attempt seed, so retries perturb
+	// the fault stream along with the sampling stream.
+	ChaosRate float64 `json:"chaos_rate,omitempty"`
+}
+
+// Job status values recorded in the manifest.
+const (
+	StatusPending = "pending" // not yet finished (fresh, or interrupted by a drain)
+	StatusDone    = "done"    // profile merged into the aggregate
+	StatusDead    = "dead"    // attempt budget exhausted or permanent failure
+)
+
+// JobRecord is the manifest's per-job ledger: everything Resume needs to
+// re-enqueue only unfinished work and to keep retry budgets across
+// crashes.
+type JobRecord struct {
+	Job      Job    `json:"job"`
+	Status   string `json:"status"`
+	Attempts int    `json:"attempts"`
+	// Seed is the sampling seed of the deciding attempt (the one that
+	// completed, dead-lettered, or was in flight when interrupted).
+	Seed  uint64 `json:"seed,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// PanicError is a worker panic converted into a value: the fleet isolates
+// the panic, dead-letters the job, and keeps the campaign going. Panics
+// are treated as permanent (a deterministic simulator bug retries into
+// the same panic).
+type PanicError struct {
+	Value string
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job panicked: %s\n%s", e.Value, e.Stack)
+}
+
+// transientErr reports whether a job failure is worth retrying with a
+// perturbed seed: livelocks, cycle-budget and wall-clock deadline
+// overruns are timing pathologies that a different sampling/fault stream
+// usually avoids. Panics and unknown-benchmark errors are permanent.
+func transientErr(err error) bool {
+	return errors.Is(err, cpu.ErrLivelock) ||
+		errors.Is(err, cpu.ErrCanceled) ||
+		errors.Is(err, cpu.ErrCycleLimit)
+}
+
+// mix64 is a splitmix64-style finalizer for seed derivation.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// jobSeed derives the sampling seed for one attempt of one job from the
+// fleet seed. It is a pure function of (fleet seed, job ID, attempt), so
+// a resumed campaign reproduces exactly the seeds an uninterrupted one
+// would have used, and each retry perturbs the seed deterministically.
+func jobSeed(fleetSeed uint64, id string, attempt int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	s := mix64(fleetSeed ^ h.Sum64() ^ uint64(attempt)*0x9e3779b97f4a7c15)
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// jobArtifacts is what one successful attempt hands the supervisor.
+type jobArtifacts struct {
+	db     *profile.DB
+	res    cpu.Result
+	stats  core.Stats
+	faults faultinject.Counts
+}
+
+// buildProgram materializes the job's program. Rebuilt per attempt so
+// concurrent workers never share mutable workload state.
+func buildProgram(job Job) (*isa.Program, error) {
+	if job.Bench == "" {
+		gc := workload.DefaultGenConfig()
+		gc.Seed = job.GenSeed
+		if gc.Seed == 0 {
+			gc.Seed = 1
+		}
+		if iters := job.Scale / 250; iters > 0 {
+			gc.MainIters = iters
+		}
+		return workload.Generate(gc), nil
+	}
+	b, ok := workload.ByName(job.Bench)
+	if !ok {
+		return nil, fmt.Errorf("runner: unknown benchmark %q", job.Bench)
+	}
+	return b.Build(job.Scale), nil
+}
+
+// simulate runs one attempt of a job end to end: program, pipeline,
+// ProfileMe unit, optional chaos plan, RunContext with the fleet's cycle
+// budget, and loss accounting folded into the shard database. The shard
+// DB keeps S at the configured mean interval (not the realized one) so
+// every shard of a campaign stays merge-compatible; loss correction
+// handles the thinning instead.
+func (f *Fleet) simulate(ctx context.Context, job Job, seed uint64) (*jobArtifacts, error) {
+	prog, err := buildProgram(job)
+	if err != nil {
+		return nil, err
+	}
+	ucfg := core.Config{
+		MeanInterval: f.cfg.Interval,
+		BufferDepth:  f.cfg.BufferDepth,
+		CountMode:    core.CountInstructions,
+		IntervalMode: core.IntervalGeometric,
+		Seed:         seed,
+	}
+	unit, err := core.NewUnit(ucfg)
+	if err != nil {
+		return nil, err
+	}
+	db := profile.NewDB(f.cfg.Interval, 0, f.cfg.CPU.SustainedIssueWidth)
+	src := sim.NewMachineSource(sim.New(prog), 0)
+	pipe, err := cpu.New(prog, src, f.cfg.CPU)
+	if err != nil {
+		return nil, err
+	}
+	pipe.AttachProfileMe(unit, db.Handler())
+	var plan *faultinject.Plan
+	if job.ChaosRate > 0 {
+		plan, err = faultinject.NewPlan(mix64(seed^0xc4a05), faultinject.Uniform(job.ChaosRate))
+		if err != nil {
+			return nil, err
+		}
+		unit.AttachFaults(plan)
+		pipe.AttachFaults(plan)
+	}
+
+	res, runErr := pipe.RunContext(ctx, f.cfg.MaxCycles)
+	st := unit.Stats()
+	db.RecordLoss(st.SamplesDropped + st.SamplesOverwritten)
+	art := &jobArtifacts{db: db, res: res, stats: st}
+	if plan != nil {
+		art.faults = plan.Counts()
+	}
+	if runErr != nil {
+		return art, runErr
+	}
+	if err := src.Err(); err != nil {
+		return art, err
+	}
+	return art, nil
+}

@@ -1,0 +1,488 @@
+// Package runner is the campaign supervisor: it executes a queue of
+// profiling jobs (benchmark × config × seed shards) across a bounded
+// worker pool and merges the per-shard profile databases into one
+// loss-corrected aggregate — the multi-run aggregation workflow
+// hardware-counter PGO systems build on.
+//
+// PR 1 made a *single* run degrade gracefully under hardware faults; this
+// package extends the same contract to software failures at fleet scale:
+//
+//   - Panic isolation: a worker panic is recovered, converted to a
+//     PanicError with the captured stack, and dead-letters only that job;
+//     the fleet keeps going.
+//   - Real cancellation: each attempt runs under a context with the
+//     configured wall-clock deadline, plumbed into
+//     cpu.Pipeline.RunContext, so a wedged or slow job is cut off with a
+//     typed cpu.ErrCanceled instead of stalling a worker forever.
+//   - Retry with exponential backoff + deterministic jitter and seed
+//     perturbation for transient failures (livelock, deadline, cycle
+//     budget); a bounded attempt budget dead-letters the incurable.
+//   - Crash-safe checkpointing: after every merged job the aggregate
+//     database and a JSON manifest (completed IDs, per-job seeds and
+//     attempts) are written atomically; Resume re-verifies the database
+//     CRC envelope, quarantines corrupt checkpoints, and re-enqueues only
+//     unfinished jobs — kill -9 loses at most one job of work.
+//   - Graceful drain: cancel the Run context (pmsim wires SIGINT/SIGTERM
+//     to it) and in-flight jobs get a grace period, then hard
+//     cancellation, then a final checkpoint and a degradation report.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"profileme/internal/cpu"
+	"profileme/internal/profile"
+	"profileme/internal/stats"
+)
+
+// executeFunc runs one attempt of one job. The default is
+// (*Fleet).simulate; tests substitute failure scripts to exercise the
+// supervision machinery without a simulator in the loop.
+type executeFunc func(ctx context.Context, job Job, seed uint64) (*jobArtifacts, error)
+
+// Config parameterizes a Fleet. The zero value of every field gets a
+// usable default from normalize, except Workers ≥ 1 which callers
+// typically set explicitly.
+type Config struct {
+	// Workers is the worker-pool bound (default 1).
+	Workers int
+	// MaxAttempts is the per-job attempt budget before dead-lettering
+	// (default 3).
+	MaxAttempts int
+	// Deadline bounds each attempt's wall-clock time (0 = none); it is
+	// enforced as real cancellation inside the pipeline.
+	Deadline time.Duration
+	// Grace is how long in-flight jobs may keep running after the Run
+	// context is canceled before they are hard-canceled (default 2s).
+	Grace time.Duration
+	// BackoffBase/BackoffMax shape the exponential retry backoff
+	// (defaults 100ms / 5s); jitter of ±50% is applied deterministically.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxCycles bounds each attempt's simulated cycles (0 = none).
+	MaxCycles int64
+	// Interval is the mean sampling interval in fetched instructions
+	// (default 512). Every shard uses it, keeping the shard databases
+	// merge-compatible.
+	Interval float64
+	// BufferDepth is samples buffered per profiling interrupt (default 8).
+	BufferDepth int
+	// Seed is the fleet seed: per-job, per-attempt sampling seeds are
+	// pure functions of it, so campaigns replay exactly (default 1).
+	Seed uint64
+	// CheckpointDir enables crash-safe checkpointing ("" = none).
+	CheckpointDir string
+	// CPU is the pipeline configuration (zero value = cpu.DefaultConfig).
+	// Its WatchdogCycles composes with Deadline: the watchdog converts a
+	// genuine livelock into a retryable typed error long before the
+	// wall-clock deadline has to fire.
+	CPU cpu.Config
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+
+	execute executeFunc // test seam; nil = simulate
+}
+
+// normalize fills defaults and validates.
+func (c *Config) normalize() error {
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 3
+	}
+	if c.Grace == 0 {
+		c.Grace = 2 * time.Second
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.BackoffMax < c.BackoffBase {
+		c.BackoffMax = c.BackoffBase
+	}
+	if c.Interval == 0 {
+		c.Interval = 512
+	}
+	if c.BufferDepth == 0 {
+		c.BufferDepth = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.CPU.ROBSize == 0 {
+		c.CPU = cpu.DefaultConfig()
+	}
+	switch {
+	case c.Workers < 1:
+		return fmt.Errorf("runner: %d workers", c.Workers)
+	case c.MaxAttempts < 1:
+		return fmt.Errorf("runner: attempt budget %d", c.MaxAttempts)
+	case c.Deadline < 0:
+		return fmt.Errorf("runner: negative deadline %v", c.Deadline)
+	case c.Grace < 0:
+		return fmt.Errorf("runner: negative grace %v", c.Grace)
+	case c.BackoffBase < 0:
+		return fmt.Errorf("runner: negative backoff %v", c.BackoffBase)
+	case c.MaxCycles < 0:
+		return fmt.Errorf("runner: negative cycle budget %d", c.MaxCycles)
+	case c.Interval < 1:
+		return fmt.Errorf("runner: sampling interval %v < 1", c.Interval)
+	case c.BufferDepth < 1:
+		return fmt.Errorf("runner: buffer depth %d", c.BufferDepth)
+	}
+	return c.CPU.Validate()
+}
+
+// Fleet is one campaign: a job ledger, an aggregate profile, and the
+// checkpoint state. Build with New or Resume, run once with Run.
+type Fleet struct {
+	cfg       Config
+	records   []*JobRecord
+	byID      map[string]*JobRecord
+	agg       *profile.DB
+	gen       uint64
+	completed []string
+	totals    Totals
+	drained   bool
+	ran       bool
+}
+
+// New builds a fresh fleet. If a checkpoint directory is configured it
+// must not already hold a campaign — resuming must be an explicit choice
+// (Resume), never an accident that mixes two campaigns' samples.
+func New(cfg Config, jobs []Job) (*Fleet, error) {
+	f, err := build(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	if dir := f.cfg.CheckpointDir; dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("runner: checkpoint dir: %w", err)
+		}
+		if gens, err := manifestGens(dir); err != nil {
+			return nil, err
+		} else if len(gens) > 0 {
+			return nil, fmt.Errorf("runner: checkpoint directory %s already holds a campaign (generation %d): resume it or point at a clean directory", dir, gens[0])
+		}
+	}
+	return f, nil
+}
+
+// Resume rebuilds a fleet from the newest good checkpoint in
+// cfg.CheckpointDir: the manifest is reloaded, the aggregate database's
+// CRC envelope re-verified (a corrupt checkpoint is quarantined to
+// *.corrupt and the previous one used), completed and dead-lettered jobs
+// are kept as-is, and only unfinished jobs are re-enqueued. With no
+// usable checkpoint the campaign starts fresh.
+func Resume(cfg Config, jobs []Job) (*Fleet, error) {
+	f, err := build(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	if f.cfg.CheckpointDir == "" {
+		return nil, errors.New("runner: resume needs a checkpoint directory")
+	}
+	if err := os.MkdirAll(f.cfg.CheckpointDir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: checkpoint dir: %w", err)
+	}
+	m, db, err := loadCheckpoint(f.cfg.CheckpointDir, f.logf)
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return f, nil // nothing (usable) to resume: fresh campaign
+	}
+	if m.FleetSeed != f.cfg.Seed {
+		return nil, fmt.Errorf("runner: checkpoint fleet seed %d does not match configured seed %d (wrong campaign?)", m.FleetSeed, f.cfg.Seed)
+	}
+	for i := range m.Jobs {
+		rec, ok := f.byID[m.Jobs[i].Job.ID]
+		if !ok {
+			continue // job no longer in the campaign; its samples stay merged
+		}
+		rec.Status = m.Jobs[i].Status
+		rec.Attempts = m.Jobs[i].Attempts
+		rec.Seed = m.Jobs[i].Seed
+		rec.Error = m.Jobs[i].Error
+	}
+	f.agg = db
+	f.gen = m.Generation
+	f.completed = m.Completed
+	f.totals = m.Totals
+	return f, nil
+}
+
+func build(cfg Config, jobs []Job) (*Fleet, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, errors.New("runner: no jobs")
+	}
+	f := &Fleet{cfg: cfg, byID: make(map[string]*JobRecord, len(jobs))}
+	for _, job := range jobs {
+		if job.ID == "" {
+			return nil, errors.New("runner: job with empty ID")
+		}
+		if _, dup := f.byID[job.ID]; dup {
+			return nil, fmt.Errorf("runner: duplicate job ID %q", job.ID)
+		}
+		rec := &JobRecord{Job: job, Status: StatusPending}
+		f.records = append(f.records, rec)
+		f.byID[job.ID] = rec
+	}
+	return f, nil
+}
+
+// Profile returns the aggregate database (nil until a job completes).
+func (f *Fleet) Profile() *profile.DB { return f.agg }
+
+// Records returns a snapshot of the per-job ledger.
+func (f *Fleet) Records() []JobRecord {
+	out := make([]JobRecord, len(f.records))
+	for i, rec := range f.records {
+		out[i] = *rec
+	}
+	return out
+}
+
+// Generation returns the current checkpoint generation.
+func (f *Fleet) Generation() uint64 { return f.gen }
+
+type outKind int
+
+const (
+	outDone outKind = iota
+	outDead
+	outInterrupted
+)
+
+// outcome is what a worker reports back for one job. attempts and seed
+// are absolute (post-resume) values for the manifest.
+type outcome struct {
+	rec      *JobRecord
+	kind     outKind
+	art      *jobArtifacts
+	err      error
+	attempts int
+	seed     uint64
+}
+
+// errGraceExpired is the hard-cancellation cause after a drain grace
+// period runs out.
+var errGraceExpired = errors.New("runner: drain grace period expired")
+
+// Run executes the campaign until every job is done or dead, or until ctx
+// is canceled — then it drains: dispatch stops, in-flight jobs get
+// cfg.Grace to finish, stragglers are hard-canceled (their attempt is not
+// charged), a final checkpoint is written, and the report says what was
+// completed, retried, dead-lettered, and lost. Run may be called once per
+// Fleet.
+func (f *Fleet) Run(ctx context.Context) (*Report, error) {
+	if f.ran {
+		return nil, errors.New("runner: fleet already ran; build a new one (or Resume)")
+	}
+	f.ran = true
+
+	var pending []*JobRecord
+	for _, rec := range f.records {
+		if rec.Status == StatusPending {
+			pending = append(pending, rec)
+		}
+	}
+	if len(pending) == 0 {
+		return f.buildReport(), f.checkpoint()
+	}
+
+	hardCtx, hardCancel := context.WithCancelCause(context.Background())
+	defer hardCancel(nil)
+
+	workers := f.cfg.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	queue := make(chan *JobRecord)
+	results := make(chan outcome)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rec := range queue {
+				results <- f.runJob(hardCtx, rec)
+			}
+		}()
+	}
+	go func() { // dispatcher: stops feeding the moment a drain starts
+		defer close(queue)
+		for _, rec := range pending {
+			select {
+			case queue <- rec:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() { wg.Wait(); close(results) }()
+
+	// Drain timer: soft cancel -> grace -> hard cancel.
+	supDone := make(chan struct{})
+	defer close(supDone)
+	go func() {
+		select {
+		case <-supDone:
+			return
+		case <-ctx.Done():
+		}
+		t := time.NewTimer(f.cfg.Grace)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			hardCancel(errGraceExpired)
+		case <-supDone:
+		}
+	}()
+
+	var firstErr error
+	for out := range results {
+		rec := out.rec
+		rec.Attempts = out.attempts
+		rec.Seed = out.seed
+		switch out.kind {
+		case outDone:
+			f.absorb(out)
+			f.logf("job %s done (attempt %d)", rec.Job.ID, out.attempts)
+		case outDead:
+			rec.Status = StatusDead
+			rec.Error = out.err.Error()
+			f.logf("job %s dead-lettered after %d attempts: %v", rec.Job.ID, out.attempts, out.err)
+		case outInterrupted:
+			// Stays pending; a resumed campaign re-runs it.
+			f.logf("job %s interrupted by drain", rec.Job.ID)
+			continue
+		}
+		if err := f.checkpoint(); err != nil && firstErr == nil {
+			// Progress can no longer be persisted: stop the campaign
+			// rather than burn work that a crash would lose wholesale.
+			firstErr = err
+			hardCancel(err)
+		}
+	}
+
+	if ctx.Err() != nil {
+		f.drained = true
+	}
+	if err := f.checkpoint(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return f.buildReport(), firstErr
+}
+
+// absorb merges a completed job's shard database into the aggregate and
+// rolls its run totals into the campaign ledger.
+func (f *Fleet) absorb(out outcome) {
+	rec := out.rec
+	if f.agg == nil {
+		f.agg = out.art.db
+	} else if err := f.agg.Merge(out.art.db); err != nil {
+		// A shard that cannot merge (config drift, self-handoff bug) is a
+		// permanent failure of that job, not of the fleet.
+		rec.Status = StatusDead
+		rec.Error = err.Error()
+		return
+	}
+	rec.Status = StatusDone
+	rec.Error = ""
+	f.completed = append(f.completed, rec.Job.ID)
+	f.totals.Retired += out.art.res.Retired
+	f.totals.Cycles += out.art.res.Cycles
+	f.totals.SamplesCaptured += out.art.stats.Captured()
+	f.totals.InterruptsDropped += out.art.faults.InterruptsDropped
+	f.totals.SamplesCorrupted += out.art.faults.SamplesCorrupted
+}
+
+// runJob drives one job to a terminal outcome: attempt, classify, back
+// off, retry with a perturbed seed — or bail out when the fleet is
+// hard-canceled (the chopped attempt is not charged to the budget).
+func (f *Fleet) runJob(hardCtx context.Context, rec *JobRecord) outcome {
+	attempts := rec.Attempts
+	seed := rec.Seed
+	for {
+		if hardCtx.Err() != nil {
+			return outcome{rec: rec, kind: outInterrupted, attempts: attempts, seed: seed}
+		}
+		attempts++
+		seed = jobSeed(f.cfg.Seed, rec.Job.ID, attempts)
+		actx, cancel := hardCtx, context.CancelFunc(func() {})
+		if f.cfg.Deadline > 0 {
+			actx, cancel = context.WithTimeoutCause(hardCtx, f.cfg.Deadline,
+				fmt.Errorf("runner: attempt deadline %v expired", f.cfg.Deadline))
+		}
+		art, err := f.exec(actx, rec.Job, seed)
+		cancel()
+		if err == nil {
+			return outcome{rec: rec, kind: outDone, art: art, attempts: attempts, seed: seed}
+		}
+		if hardCtx.Err() != nil {
+			return outcome{rec: rec, kind: outInterrupted, attempts: attempts - 1, seed: seed}
+		}
+		f.logf("job %s attempt %d failed: %v", rec.Job.ID, attempts, err)
+		if !transientErr(err) || attempts >= f.cfg.MaxAttempts {
+			return outcome{rec: rec, kind: outDead, err: err, attempts: attempts, seed: seed}
+		}
+		select {
+		case <-time.After(f.backoff(rec.Job.ID, attempts)):
+		case <-hardCtx.Done():
+			return outcome{rec: rec, kind: outInterrupted, attempts: attempts, seed: seed}
+		}
+	}
+}
+
+// exec runs one attempt with panic isolation: a panic anywhere below
+// (simulator bug, workload bug) becomes a PanicError carrying the stack,
+// and only this job pays for it.
+func (f *Fleet) exec(ctx context.Context, job Job, seed uint64) (art *jobArtifacts, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			art, err = nil, &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+		}
+	}()
+	if f.cfg.execute != nil {
+		return f.cfg.execute(ctx, job, seed)
+	}
+	return f.simulate(ctx, job, seed)
+}
+
+// backoff returns the sleep before retry attempt+1: exponential in the
+// attempt number, capped, with ±50% jitter drawn from a seed-derived RNG
+// so the whole campaign — including its backoff schedule — replays
+// deterministically.
+func (f *Fleet) backoff(id string, attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := f.cfg.BackoffBase << uint(shift)
+	if d <= 0 || d > f.cfg.BackoffMax {
+		d = f.cfg.BackoffMax
+	}
+	rng := stats.NewRNG(jobSeed(f.cfg.Seed, id, attempt) ^ 0xb0ff)
+	return time.Duration(float64(d) * (0.5 + rng.Float64()))
+}
+
+func (f *Fleet) logf(format string, args ...any) {
+	if f.cfg.Log == nil {
+		return
+	}
+	fmt.Fprintf(f.cfg.Log, "runner: "+format+"\n", args...)
+}
