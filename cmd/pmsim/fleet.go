@@ -33,6 +33,7 @@ type fleetOptions struct {
 	ccfg       cpu.Config
 	top        int
 	saveTo     string
+	submitURL  string
 	quiet      bool
 }
 
@@ -82,6 +83,12 @@ func runFleet(o fleetOptions) int {
 	}
 	if !o.quiet {
 		cfg.Log = os.Stderr
+	}
+	if o.submitURL != "" {
+		// Each completed shard is also POSTed to the pmsimd collector;
+		// undeliverable shards stay in the local aggregate and the report
+		// counts them as degradation, not failure.
+		cfg.Sink = runner.NewHTTPSink(o.submitURL)
 	}
 	jobs := fleetJobs(o)
 

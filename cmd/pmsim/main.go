@@ -20,10 +20,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"profileme/internal/core"
 	"profileme/internal/cpu"
@@ -57,6 +60,7 @@ func main() {
 		list      = flag.Bool("list", false, "list the suite benchmarks and exit")
 
 		fleetN     = flag.Int("fleet", 0, "fleet mode: run a supervised campaign across this many workers")
+		submitURL  = flag.String("submit", "", "fleet mode: also POST each completed shard profile to this pmsimd collector (e.g. http://localhost:7070)")
 		shards     = flag.Int("shards", 4, "fleet mode: sampling shards per benchmark")
 		checkpoint = flag.String("checkpoint", "", "fleet mode: checkpoint directory for crash-safe campaign state")
 		resume     = flag.Bool("resume", false, "fleet mode: resume the campaign in -checkpoint instead of starting fresh")
@@ -86,6 +90,7 @@ func main() {
 		scale:    *scale,
 		resume:   *resume,
 		ckptDir:  *checkpoint,
+		submit:   *submitURL,
 		set:      set,
 	}
 	if err := fv.validate(); err != nil {
@@ -129,6 +134,7 @@ func main() {
 			ccfg:       ccfg,
 			top:        *top,
 			saveTo:     *saveTo,
+			submitURL:  *submitURL,
 		}))
 	}
 
@@ -199,7 +205,13 @@ func main() {
 		unit.AttachFaults(plan)
 		pipe.AttachFaults(plan)
 	}
-	ctx := context.Background()
+	// Ctrl-C / SIGTERM cancels the run through the same context machinery
+	// the fleet uses: the pipeline finalizes at the next cycle batch and
+	// hands back the partial result, which is still reported and saved —
+	// an interrupted profiling run degrades to a shorter one, it does not
+	// vanish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeoutCause(ctx, *deadline,
@@ -207,13 +219,19 @@ func main() {
 		defer cancel()
 	}
 	res, err := pipe.RunContext(ctx, 0)
-	if err != nil {
+	interrupted := errors.Is(err, cpu.ErrCanceled)
+	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	stop() // a second signal now kills the process the default way
 	if err := src.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "pmsim: %v\n", err)
+		fmt.Fprintln(os.Stderr, "pmsim: interrupted — the report and any saved database cover only the completed portion of the run")
 	}
 
 	printSummary(name, res, pipe, unit)
@@ -252,6 +270,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nprofile database saved to %s\n", *saveTo)
+	}
+	if interrupted {
+		os.Exit(1)
 	}
 }
 

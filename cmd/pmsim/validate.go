@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"strings"
 	"time"
 )
 
@@ -20,6 +21,7 @@ type flagValues struct {
 	scale    int
 	resume   bool
 	ckptDir  string
+	submit   string
 	set      map[string]bool
 }
 
@@ -50,6 +52,10 @@ func (v flagValues) validate() error {
 		return fmt.Errorf("pmsim: -scale %d: instruction budget must be ≥ 1", v.scale)
 	case v.resume && v.ckptDir == "":
 		return fmt.Errorf("pmsim: -resume needs -checkpoint <dir> pointing at the campaign to continue")
+	case v.submit != "" && v.fleet < 1 && !v.resume:
+		return fmt.Errorf("pmsim: -submit delivers fleet shards; combine it with -fleet <workers> (or -resume)")
+	case v.submit != "" && !strings.HasPrefix(v.submit, "http://") && !strings.HasPrefix(v.submit, "https://"):
+		return fmt.Errorf("pmsim: -submit %q: collector URL must start with http:// or https://", v.submit)
 	}
 	return nil
 }

@@ -1,0 +1,169 @@
+// Command pmsimd is the profile collection daemon: a long-running
+// HTTP/JSON service that accepts per-shard ProfileMe database
+// submissions from fleet workers (pmsim -fleet ... -submit URL) and
+// serves loss-corrected hot-PC and estimator queries while the campaign
+// is still running.
+//
+// Robustness is the headline, not a feature flag:
+//
+//   - Ingest goes through a bounded queue with an explicit overflow
+//     policy (-overflow reject → 429 backpressure; drop-oldest →
+//     freshness under overload). Either way the refused shard's captured
+//     samples are recorded as aggregate loss, so overload degrades the
+//     estimates' precision — never their centring.
+//   - Persistence sits behind a circuit breaker: a dying disk suspends
+//     checkpoints (and flips /readyz) instead of stalling ingest.
+//   - Queries carry per-request deadlines and a concurrency high-water
+//     mark; excess load is shed with 503 + Retry-After.
+//   - SIGINT/SIGTERM starts a graceful drain: readiness flips, new
+//     submissions get 503 (accounted), in-flight requests finish, the
+//     queue is flushed, and a final atomic checkpoint is written.
+//
+// Example:
+//
+//	pmsimd -addr :7070 -checkpoint /var/lib/pmsim/agg.db -interval 512
+//	pmsim -bench compress -fleet 4 -shards 16 -submit http://localhost:7070
+//	curl localhost:7070/v1/hotpcs?n=10
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"profileme/internal/ingest"
+	"profileme/internal/profile"
+	"profileme/internal/server"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		queue     = flag.Int("queue", 64, "ingest queue depth (bounded admission)")
+		overflow  = flag.String("overflow", "reject", "queue overflow policy: reject (429) | drop-oldest")
+		ckpt      = flag.String("checkpoint", "", "aggregate checkpoint file (atomic writes; reloaded on restart)")
+		ckptEvery = flag.Int("checkpoint-every", 8, "checkpoint after this many merged submissions")
+		interval  = flag.Float64("interval", 512, "aggregate mean sampling interval (must match submitting shards)")
+		window    = flag.Int("window", 0, "aggregate paired-sampling window W")
+		width     = flag.Int("width", 4, "aggregate sustained issue width C")
+
+		queryDeadline = flag.Duration("query-deadline", 2*time.Second, "per-query deadline")
+		maxQueries    = flag.Int("max-queries", 32, "query concurrency high-water mark (excess is shed with 503)")
+		maxBody       = flag.Int64("max-body", 8<<20, "submission body size limit in bytes")
+
+		brkFails    = flag.Int("breaker-failures", 3, "consecutive checkpoint failures that open the circuit breaker")
+		brkCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "breaker open period before a half-open probe")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget after SIGTERM")
+	)
+	flag.Parse()
+
+	policy, err := ingest.ParsePolicy(*overflow)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmsimd:", err)
+		return 2
+	}
+
+	// A previous aggregate at the checkpoint path is the seed — restart
+	// continues the campaign. A damaged one is quarantined, never merged.
+	var seed *profile.DB
+	if *ckpt != "" {
+		switch db, err := profile.LoadFile(*ckpt); {
+		case err == nil:
+			seed = db
+			fmt.Fprintf(os.Stderr, "pmsimd: resumed aggregate from %s (%d samples, %d lost)\n",
+				*ckpt, db.Samples(), db.Lost())
+		case os.IsNotExist(errors.Unwrap(err)) || errors.Is(err, os.ErrNotExist):
+			// Fresh start.
+		case errors.Is(err, profile.ErrCorrupt) || errors.Is(err, profile.ErrTruncated) ||
+			errors.Is(err, profile.ErrVersionSkew):
+			quarantine := *ckpt + ".corrupt"
+			if rerr := os.Rename(*ckpt, quarantine); rerr == nil {
+				fmt.Fprintf(os.Stderr, "pmsimd: checkpoint unusable (%v); quarantined to %s, starting fresh\n", err, quarantine)
+			} else {
+				fmt.Fprintf(os.Stderr, "pmsimd: checkpoint unusable (%v) and quarantine failed (%v); starting fresh\n", err, rerr)
+			}
+		default:
+			fmt.Fprintln(os.Stderr, "pmsimd:", err)
+			return 1
+		}
+	}
+
+	svc, err := ingest.NewService(ingest.Config{
+		QueueDepth:       *queue,
+		Policy:           policy,
+		Interval:         *interval,
+		Window:           *window,
+		Width:            *width,
+		CheckpointPath:   *ckpt,
+		CheckpointEvery:  *ckptEvery,
+		BreakerThreshold: *brkFails,
+		BreakerCooldown:  *brkCooldown,
+		Log:              os.Stderr,
+	}, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmsimd:", err)
+		return 2
+	}
+	svc.Start()
+
+	srv := server.New(server.Config{
+		MaxBodyBytes:  *maxBody,
+		QueryDeadline: *queryDeadline,
+		MaxQueries:    *maxQueries,
+		Log:           os.Stderr,
+	}, svc)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmsimd:", err)
+		return 1
+	}
+	// Printed to stdout so scripts (and the smoke test) can scrape the
+	// bound port when -addr uses :0.
+	fmt.Printf("pmsimd: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "pmsimd:", err)
+		return 1
+	}
+	stop()
+
+	// Graceful drain: refuse new work first (readiness flips, late
+	// submissions are 503'd WITH loss accounting), let in-flight requests
+	// finish, flush the queue, then the final atomic checkpoint.
+	fmt.Fprintln(os.Stderr, "pmsimd: signal received, draining (stop accepting → flush queue → final checkpoint)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	svc.BeginDrain()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "pmsimd: http shutdown:", err)
+	}
+	if err := svc.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "pmsimd:", err)
+		return 1
+	}
+	st := svc.Stats()
+	fmt.Printf("pmsimd: drained cleanly: %d shards merged, %d rejected, %d dropped; %d samples aggregated, %d lost (%.1f%% loss)\n",
+		st.Merged, st.OverloadRejected, st.OverloadDropped, st.Samples, st.Lost, 100*st.LossRate)
+	if *ckpt != "" {
+		fmt.Printf("pmsimd: final checkpoint at %s\n", *ckpt)
+	}
+	return 0
+}

@@ -1,0 +1,148 @@
+package ingest
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: calls flow through; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls are short-circuited with ErrBreakerOpen until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe call is let
+	// through. Success closes the breaker, failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String returns the conventional state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// ErrBreakerOpen reports a call short-circuited because the breaker is
+// open (or a half-open probe is already in flight).
+var ErrBreakerOpen = errors.New("ingest: circuit breaker open")
+
+// BreakerStats is a snapshot of a breaker's counters.
+type BreakerStats struct {
+	State     string `json:"state"`
+	Successes uint64 `json:"successes"`
+	Failures  uint64 `json:"failures"`
+	Trips     uint64 `json:"trips"`           // transitions into open
+	Shorted   uint64 `json:"short_circuited"` // calls refused while open
+}
+
+// Breaker is a classic three-state circuit breaker guarding a flaky
+// dependency — here, checkpoint persistence: a full disk must not stall
+// the ingest hot path on every merge, so after `threshold` consecutive
+// failures writes are suspended for `cooldown`, then probed half-open.
+// The clock is injectable for deterministic tests.
+type Breaker struct {
+	mu          sync.Mutex
+	state       BreakerState
+	consecFails int
+	probing     bool
+	openedAt    time.Time
+
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	stats BreakerStats
+}
+
+// NewBreaker builds a closed breaker that opens after threshold
+// consecutive failures and probes again after cooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Do runs f under the breaker's admission rules and returns f's error,
+// or ErrBreakerOpen when the call was short-circuited.
+func (b *Breaker) Do(f func() error) error {
+	b.mu.Lock()
+	switch b.state {
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.stats.Shorted++
+			b.mu.Unlock()
+			return ErrBreakerOpen
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+	case BreakerHalfOpen:
+		if b.probing {
+			b.stats.Shorted++
+			b.mu.Unlock()
+			return ErrBreakerOpen
+		}
+		b.probing = true
+	}
+	wasHalfOpen := b.state == BreakerHalfOpen
+	b.mu.Unlock()
+
+	err := f()
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if err != nil {
+		b.stats.Failures++
+		b.consecFails++
+		if wasHalfOpen || b.consecFails >= b.threshold {
+			if b.state != BreakerOpen {
+				b.stats.Trips++
+			}
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+		return err
+	}
+	b.stats.Successes++
+	b.consecFails = 0
+	b.state = BreakerClosed
+	return nil
+}
+
+// State returns the breaker's current position, promoting open to
+// half-open when the cooldown has elapsed (so readiness probes see the
+// recovering state without having to issue a write).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Stats returns a snapshot of the counters.
+func (b *Breaker) Stats() BreakerStats {
+	st := func() BreakerStats {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return b.stats
+	}()
+	st.State = b.State().String()
+	return st
+}

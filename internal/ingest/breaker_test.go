@@ -1,0 +1,108 @@
+package ingest
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+var errDisk = errors.New("disk on fire")
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(threshold, cooldown)
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = c.now
+	return b, c
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	fail := func() error { return errDisk }
+
+	for i := 0; i < 2; i++ {
+		if err := b.Do(fail); !errors.Is(err, errDisk) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if st := b.State(); st != BreakerClosed {
+			t.Fatalf("state after %d failures: %v", i+1, st)
+		}
+	}
+	if err := b.Do(fail); !errors.Is(err, errDisk) {
+		t.Fatal(err)
+	}
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after threshold: %v", st)
+	}
+	// Short-circuited while open: the dependency is not called.
+	called := false
+	err := b.Do(func() error { called = true; return nil })
+	if !errors.Is(err, ErrBreakerOpen) || called {
+		t.Fatalf("open breaker let a call through: err=%v called=%v", err, called)
+	}
+	st := b.Stats()
+	if st.Trips != 1 || st.Failures != 3 || st.Shorted != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	if err := b.Do(func() error { return errDisk }); !errors.Is(err, errDisk) {
+		t.Fatal(err)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not open")
+	}
+
+	// Probe fails → re-open, cooldown restarts.
+	clk.advance(time.Minute)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown: %v", b.State())
+	}
+	if err := b.Do(func() error { return errDisk }); !errors.Is(err, errDisk) {
+		t.Fatal(err)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if err := b.Do(func() error { return nil }); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("re-opened breaker admitted a call: %v", err)
+	}
+
+	// Probe succeeds → closed, calls flow again.
+	clk.advance(time.Minute)
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("successful probe: %v", err)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe: %v", b.State())
+	}
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("closed breaker refused a call: %v", err)
+	}
+	st := b.Stats()
+	if st.Trips != 2 || st.Successes != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	seq := []error{errDisk, errDisk, nil, errDisk, errDisk}
+	for i, e := range seq {
+		err := b.Do(func() error { return e })
+		if !errors.Is(err, e) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	// 2 failures, success, 2 failures: never 3 consecutive, still closed.
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state %v after interleaved successes", st)
+	}
+}

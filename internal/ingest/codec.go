@@ -1,0 +1,69 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"profileme/internal/profile"
+)
+
+// The submission wire format is a small JSON envelope around the binary
+// profile-database envelope of DESIGN.md §7:
+//
+//	{"shard": "compress/s003", "profile": "<base64 of profile.Save bytes>"}
+//
+// Layering the two envelopes keeps every integrity property of the disk
+// format on the wire: the inner CRC32-C catches payload damage, the
+// version field catches skew between old workers and a new collector,
+// and both decode failures surface as the same typed profile.Err*
+// errors callers already know how to classify.
+
+// ErrBadSubmit reports a submission whose JSON envelope is malformed:
+// undecodable JSON, a missing shard id, or an empty profile payload.
+// Damage *inside* the payload surfaces as profile.ErrCorrupt /
+// ErrTruncated / ErrVersionSkew instead.
+var ErrBadSubmit = errors.New("ingest: malformed submission")
+
+// submitEnvelope is the JSON wire format ([]byte marshals as base64).
+type submitEnvelope struct {
+	Shard   string `json:"shard"`
+	Profile []byte `json:"profile"`
+}
+
+// EncodeSubmit serializes one shard database as a submission body.
+func EncodeSubmit(shard string, db *profile.DB) ([]byte, error) {
+	if shard == "" {
+		return nil, fmt.Errorf("ingest: encode: empty shard id: %w", ErrBadSubmit)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		return nil, err
+	}
+	return json.Marshal(submitEnvelope{Shard: shard, Profile: buf.Bytes()})
+}
+
+// DecodeSubmit parses a submission body. Every failure is typed —
+// ErrBadSubmit for envelope problems, profile.ErrCorrupt/ErrTruncated/
+// ErrVersionSkew for payload problems — and never a panic, whatever the
+// bytes; FuzzDecodeSubmit holds it to that. The caller bounds the body
+// size (http.MaxBytesReader); the inner decoder additionally caps the
+// declared payload allocation on its own.
+func DecodeSubmit(body []byte) (Submission, error) {
+	var env submitEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return Submission{}, fmt.Errorf("ingest: submission envelope: %v: %w", err, ErrBadSubmit)
+	}
+	if env.Shard == "" {
+		return Submission{}, fmt.Errorf("ingest: submission without a shard id: %w", ErrBadSubmit)
+	}
+	if len(env.Profile) == 0 {
+		return Submission{}, fmt.Errorf("ingest: submission %q without a profile payload: %w", env.Shard, ErrBadSubmit)
+	}
+	db, err := profile.LoadDB(bytes.NewReader(env.Profile))
+	if err != nil {
+		return Submission{}, fmt.Errorf("ingest: submission %q: %w", env.Shard, err)
+	}
+	return Submission{Shard: env.Shard, DB: db}, nil
+}

@@ -1,0 +1,97 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"profileme/internal/profile"
+)
+
+// FuzzDecodeSubmit feeds the HTTP submission decoder arbitrary bytes —
+// the same contract FuzzLoadDB pins for the disk envelope, lifted to the
+// wire: every rejection is typed (ErrBadSubmit for envelope damage,
+// profile.ErrCorrupt/ErrTruncated/ErrVersionSkew for payload damage),
+// never a panic or an unbounded allocation, and an accepted submission is
+// immediately usable for queries and loss accounting.
+func FuzzDecodeSubmit(f *testing.F) {
+	// Seed deep inside the grammar: a valid submission plus structured
+	// mutants (truncated inner envelope, flipped payload byte, wrong JSON
+	// shapes, oversized length claims).
+	db := testShard(7, 25)
+	valid, err := EncodeSubmit("compress/s003", db)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+
+	var env submitEnvelope
+	if err := json.Unmarshal(valid, &env); err != nil {
+		f.Fatal(err)
+	}
+	trunc, _ := json.Marshal(submitEnvelope{Shard: env.Shard, Profile: env.Profile[:len(env.Profile)/2]})
+	f.Add(trunc)
+	flipped := append([]byte(nil), env.Profile...)
+	flipped[len(flipped)/2] ^= 0x20
+	mut, _ := json.Marshal(submitEnvelope{Shard: env.Shard, Profile: flipped})
+	f.Add(mut)
+	noShard, _ := json.Marshal(submitEnvelope{Profile: env.Profile})
+	f.Add(noShard)
+	f.Add([]byte(`{"shard":"x","profile":""}`))
+	f.Add([]byte(`{"shard":"x","profile":"AAAA"}`))
+	f.Add([]byte(`{"shard":123}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeSubmit(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadSubmit) &&
+				!errors.Is(err, profile.ErrCorrupt) &&
+				!errors.Is(err, profile.ErrTruncated) &&
+				!errors.Is(err, profile.ErrVersionSkew) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Accepted: the submission must be queryable and accountable.
+		if got.Shard == "" || got.DB == nil {
+			t.Fatalf("accepted submission incomplete: %+v", got)
+		}
+		_ = got.Captured()
+		for _, pc := range got.DB.PCs() {
+			got.DB.EstimatedCount(pc)
+		}
+		_ = got.DB.Report(nil, 10)
+	})
+}
+
+// TestDecodeSubmitRoundTrip pins the happy path: what EncodeSubmit
+// writes, DecodeSubmit reads back with identical totals.
+func TestDecodeSubmitRoundTrip(t *testing.T) {
+	db := testShard(3, 40)
+	db.RecordLoss(5)
+	body, err := EncodeSubmit("li/s001", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSubmit(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shard != "li/s001" {
+		t.Fatalf("shard %q", got.Shard)
+	}
+	if got.DB.Samples() != db.Samples() || got.DB.Lost() != db.Lost() {
+		t.Fatalf("round-trip totals %d/%d, want %d/%d",
+			got.DB.Samples(), got.DB.Lost(), db.Samples(), db.Lost())
+	}
+	if got.Captured() != db.Samples()+db.Lost() {
+		t.Fatalf("captured %d", got.Captured())
+	}
+	var buf bytes.Buffer
+	if err := got.DB.Save(&buf); err != nil {
+		t.Fatalf("decoded database not re-saveable: %v", err)
+	}
+}

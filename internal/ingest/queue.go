@@ -1,0 +1,188 @@
+// Package ingest is the server-side admission layer of the profile
+// collection pipeline: a bounded submission queue with explicit overflow
+// policies, a circuit breaker guarding persistence, and an aggregator
+// service that folds accepted shard databases into one loss-corrected
+// aggregate.
+//
+// The design carries the paper's degradation contract across the network
+// boundary: like ProfileMe's saturating counters and accounted
+// interrupt-drop losses, overload here never corrupts the statistics —
+// a submission either merges into the aggregate or its captured sample
+// count is recorded as loss (DB.RecordLoss), so the estimators stay
+// centred no matter how hard the ingest path is hammered. The
+// conservation invariant the soak tests pin down:
+//
+//	Σ captured(submitted shards) == aggregate.Samples() + aggregate.Lost()
+package ingest
+
+import (
+	"fmt"
+	"sync"
+
+	"profileme/internal/profile"
+)
+
+// Policy says what Offer does when the queue is full.
+type Policy int
+
+const (
+	// RejectNew refuses the incoming submission (the HTTP layer turns
+	// this into 429 Too Many Requests — backpressure to the worker).
+	RejectNew Policy = iota
+	// DropOldest evicts the oldest queued submission to admit the new
+	// one — freshness over fairness; the evicted shard is accounted as
+	// loss.
+	DropOldest
+)
+
+// String returns the flag spelling of the policy.
+func (p Policy) String() string {
+	switch p {
+	case RejectNew:
+		return "reject"
+	case DropOldest:
+		return "drop-oldest"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy parses the flag spelling of a policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "reject":
+		return RejectNew, nil
+	case "drop-oldest":
+		return DropOldest, nil
+	}
+	return 0, fmt.Errorf("ingest: unknown overflow policy %q (want reject or drop-oldest)", s)
+}
+
+// Submission is one decoded shard profile waiting to be merged.
+type Submission struct {
+	// Shard identifies the submitting worker/shard (e.g. "compress/s003").
+	Shard string
+	// DB is the decoded shard database; the queue takes ownership.
+	DB *profile.DB
+}
+
+// Captured returns the total samples the shard's hardware captured —
+// delivered plus already-lost — which is what the aggregate loses if
+// this submission never merges.
+func (s Submission) Captured() uint64 { return s.DB.Samples() + s.DB.Lost() }
+
+// QueueStats is a snapshot of the queue's counters.
+type QueueStats struct {
+	Capacity  int    `json:"capacity"`
+	Depth     int    `json:"depth"`
+	HighWater int    `json:"high_water"` // max depth ever observed
+	Accepted  uint64 `json:"accepted"`
+	Rejected  uint64 `json:"rejected"` // refused at admission (full or closed)
+	Dropped   uint64 `json:"dropped"`  // accepted earlier, evicted by DropOldest
+}
+
+// Queue is a bounded MPSC submission queue: many HTTP handlers Offer,
+// one aggregator goroutine Waits. Overflow behavior is the configured
+// Policy; Close starts the drain (Offer refuses, Wait hands out the
+// backlog then reports exhaustion).
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []Submission
+	head   int
+	count  int
+	policy Policy
+	closed bool
+	stats  QueueStats
+}
+
+// NewQueue builds a queue with the given capacity and overflow policy.
+func NewQueue(capacity int, policy Policy) (*Queue, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("ingest: queue capacity %d < 1", capacity)
+	}
+	if policy != RejectNew && policy != DropOldest {
+		return nil, fmt.Errorf("ingest: unknown overflow policy %d", int(policy))
+	}
+	q := &Queue{buf: make([]Submission, capacity), policy: policy}
+	q.cond = sync.NewCond(&q.mu)
+	return q, nil
+}
+
+// Offer tries to enqueue s. accepted reports whether s was admitted;
+// dropped holds any older submission evicted to make room (DropOldest
+// only). The caller owns accounting for both refusals and evictions —
+// Queue counts them but does not know about the aggregate.
+func (q *Queue) Offer(s Submission) (dropped []Submission, accepted bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		q.stats.Rejected++
+		return nil, false
+	}
+	if q.count == len(q.buf) {
+		if q.policy == RejectNew {
+			q.stats.Rejected++
+			return nil, false
+		}
+		// DropOldest: evict the head.
+		old := q.buf[q.head]
+		q.buf[q.head] = Submission{}
+		q.head = (q.head + 1) % len(q.buf)
+		q.count--
+		q.stats.Dropped++
+		dropped = append(dropped, old)
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = s
+	q.count++
+	q.stats.Accepted++
+	if q.count > q.stats.HighWater {
+		q.stats.HighWater = q.count
+	}
+	q.cond.Signal()
+	return dropped, true
+}
+
+// Wait blocks until a submission is available and returns it; ok is
+// false once the queue is closed AND fully drained — the aggregator's
+// signal to write the final checkpoint and exit.
+func (q *Queue) Wait() (s Submission, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.count == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.count == 0 {
+		return Submission{}, false
+	}
+	s = q.buf[q.head]
+	q.buf[q.head] = Submission{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return s, true
+}
+
+// Close starts the drain: subsequent Offers are refused, queued
+// submissions keep flowing out of Wait until the backlog is empty.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// Len returns the current depth.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// Stats returns a snapshot of the counters.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := q.stats
+	st.Capacity = len(q.buf)
+	st.Depth = q.count
+	return st
+}

@@ -1,0 +1,155 @@
+package ingest
+
+import (
+	"sync"
+	"testing"
+
+	"profileme/internal/core"
+	"profileme/internal/profile"
+)
+
+// testShard builds a shard database with a deterministic PC mix and the
+// given number of samples.
+func testShard(seed uint64, samples int) *profile.DB {
+	db := profile.NewDB(16, 0, 4)
+	for i := 0; i < samples; i++ {
+		r := core.Record{PC: 0x400 + 8*((seed+uint64(i)*3)%11), LoadComplete: -1}
+		for j := range r.StageCycle {
+			r.StageCycle[j] = -1
+		}
+		r.StageCycle[core.StageFetch] = int64(i)
+		r.StageCycle[core.StageRetire] = int64(i + 9)
+		r.Events = core.EvRetired
+		if i%4 == 0 {
+			r.Events |= core.EvDCacheMiss
+		}
+		db.Add(core.Sample{First: r})
+	}
+	return db
+}
+
+func sub(shard string, seed uint64, samples int) Submission {
+	return Submission{Shard: shard, DB: testShard(seed, samples)}
+}
+
+func TestQueueRejectNew(t *testing.T) {
+	q, err := NewQueue(2, RejectNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if dropped, ok := q.Offer(sub("a", uint64(i), 5)); !ok || len(dropped) != 0 {
+			t.Fatalf("offer %d: ok=%v dropped=%d", i, ok, len(dropped))
+		}
+	}
+	if _, ok := q.Offer(sub("overflow", 9, 5)); ok {
+		t.Fatal("full RejectNew queue accepted a submission")
+	}
+	st := q.Stats()
+	if st.Accepted != 2 || st.Rejected != 1 || st.Dropped != 0 || st.Depth != 2 || st.HighWater != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestQueueDropOldest(t *testing.T) {
+	q, err := NewQueue(2, DropOldest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Offer(Submission{Shard: "first", DB: testShard(1, 5)})
+	q.Offer(Submission{Shard: "second", DB: testShard(2, 5)})
+	dropped, ok := q.Offer(Submission{Shard: "third", DB: testShard(3, 5)})
+	if !ok || len(dropped) != 1 || dropped[0].Shard != "first" {
+		t.Fatalf("drop-oldest: ok=%v dropped=%v", ok, dropped)
+	}
+	// FIFO order of the survivors.
+	if s, ok := q.Wait(); !ok || s.Shard != "second" {
+		t.Fatalf("head = %q, want second", s.Shard)
+	}
+	if s, ok := q.Wait(); !ok || s.Shard != "third" {
+		t.Fatalf("next = %q, want third", s.Shard)
+	}
+	st := q.Stats()
+	if st.Accepted != 3 || st.Dropped != 1 || st.Rejected != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestQueueCloseDrainsBacklog(t *testing.T) {
+	q, _ := NewQueue(4, RejectNew)
+	q.Offer(sub("a", 1, 3))
+	q.Offer(sub("b", 2, 3))
+	q.Close()
+	if _, ok := q.Offer(sub("late", 3, 3)); ok {
+		t.Fatal("closed queue accepted a submission")
+	}
+	var got []string
+	for {
+		s, ok := q.Wait()
+		if !ok {
+			break
+		}
+		got = append(got, s.Shard)
+	}
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("backlog after close: %v", got)
+	}
+}
+
+// TestQueueConcurrentOfferWait hammers the queue from many producers and
+// one consumer; every accepted submission must come out exactly once.
+func TestQueueConcurrentOfferWait(t *testing.T) {
+	q, _ := NewQueue(8, RejectNew)
+	const producers, perProducer = 8, 200
+
+	seen := make(map[string]int)
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for {
+			s, ok := q.Wait()
+			if !ok {
+				return
+			}
+			seen[s.Shard]++
+		}
+	}()
+
+	var accepted sync.Map
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				name := string(rune('A'+p)) + "-" + string(rune('0'+i%10)) + string(rune('a'+(i/10)%26)) + string(rune('a'+i/260))
+				if _, ok := q.Offer(Submission{Shard: name, DB: testShard(uint64(i), 1)}); ok {
+					accepted.Store(name, true)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	q.Close()
+	<-consumerDone
+
+	var want int
+	accepted.Range(func(k, _ any) bool {
+		want++
+		if seen[k.(string)] != 1 {
+			t.Fatalf("submission %v delivered %d times", k, seen[k.(string)])
+		}
+		return true
+	})
+	var total int
+	for _, n := range seen {
+		total += n
+	}
+	if total != want {
+		t.Fatalf("consumer saw %d submissions, %d were accepted", total, want)
+	}
+	st := q.Stats()
+	if st.Accepted != uint64(want) {
+		t.Fatalf("accepted counter %d, want %d", st.Accepted, want)
+	}
+}

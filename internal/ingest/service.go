@@ -1,0 +1,376 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"profileme/internal/profile"
+)
+
+// Typed admission failures. The HTTP layer maps each to a status code;
+// the remote-submit sink maps the statuses back to its retry taxonomy.
+var (
+	// ErrQueueFull: the bounded queue refused the submission (RejectNew
+	// policy). Transient — back off and retry (HTTP 429).
+	ErrQueueFull = errors.New("ingest: queue full")
+	// ErrDraining: the service is shutting down and no longer admits
+	// work. Transient — retry against a healthy replica (HTTP 503).
+	ErrDraining = errors.New("ingest: draining, not accepting submissions")
+	// ErrConfigMismatch: the shard's sampling configuration cannot merge
+	// into this aggregate. Permanent — retrying cannot help (HTTP 409).
+	ErrConfigMismatch = errors.New("ingest: shard sampling configuration does not match aggregate")
+)
+
+// Config parameterizes a Service. Zero values get usable defaults.
+type Config struct {
+	// QueueDepth bounds the ingest queue (default 64).
+	QueueDepth int
+	// Policy is the queue overflow policy (default RejectNew).
+	Policy Policy
+	// Interval/Window/Width define the aggregate's sampling configuration
+	// when starting empty (defaults 512 / 0 / 4); ignored when a seed
+	// database is supplied. Submissions must match or are refused with
+	// ErrConfigMismatch.
+	Interval float64
+	Window   int
+	Width    int
+	// CheckpointPath enables circuit-broken atomic persistence of the
+	// aggregate ("" = in-memory only).
+	CheckpointPath string
+	// CheckpointEvery checkpoints after this many merged submissions
+	// (default 1: every merge, like the fleet supervisor).
+	CheckpointEvery int
+	// BreakerThreshold consecutive checkpoint failures open the breaker
+	// (default 3); BreakerCooldown is the open period before a half-open
+	// probe (default 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Log receives progress and degradation lines (nil = silent).
+	Log io.Writer
+
+	persist   func() error     // test seam; nil = WriteAtomic of the aggregate
+	mergeHook func(Submission) // test seam; called before each merge
+}
+
+func (c *Config) normalize() error {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Interval == 0 {
+		c.Interval = 512
+	}
+	if c.Width == 0 {
+		c.Width = 4
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 1
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	switch {
+	case c.QueueDepth < 1:
+		return fmt.Errorf("ingest: queue depth %d", c.QueueDepth)
+	case c.Interval < 1:
+		return fmt.Errorf("ingest: interval %g < 1", c.Interval)
+	case c.Window < 0:
+		return fmt.Errorf("ingest: negative window %d", c.Window)
+	case c.Width < 1:
+		return fmt.Errorf("ingest: issue width %d", c.Width)
+	case c.CheckpointEvery < 1:
+		return fmt.Errorf("ingest: checkpoint every %d", c.CheckpointEvery)
+	}
+	return nil
+}
+
+// Stats is a full snapshot of the service's health counters — the
+// /v1/stats payload.
+type Stats struct {
+	Queue   QueueStats   `json:"queue"`
+	Breaker BreakerStats `json:"breaker"`
+
+	Merged      uint64 `json:"merged"`       // submissions folded into the aggregate
+	MergeFailed uint64 `json:"merge_failed"` // accepted but unmergeable (accounted as loss)
+
+	OverloadRejected uint64 `json:"overload_rejected"` // refused at admission (429/503)
+	OverloadDropped  uint64 `json:"overload_dropped"`  // evicted by DropOldest
+	SamplesLost      uint64 `json:"samples_lost"`      // captured samples lost to overload/drain
+
+	Checkpoints        uint64 `json:"checkpoints"`
+	CheckpointFailures uint64 `json:"checkpoint_failures"`
+	CheckpointShorted  uint64 `json:"checkpoint_short_circuited"`
+
+	Draining bool `json:"draining"`
+
+	// Aggregate rollup.
+	Samples  uint64  `json:"samples"`
+	Lost     uint64  `json:"lost"`
+	LossRate float64 `json:"loss_rate"`
+}
+
+// Service owns the ingest pipeline: HTTP handlers Submit, one aggregator
+// goroutine merges, the breaker guards persistence, Drain flushes and
+// writes the final checkpoint. The aggregate lives behind a
+// profile.SafeDB, so queries run concurrently with ingest.
+type Service struct {
+	cfg Config
+	agg *profile.SafeDB
+	q   *Queue
+	brk *Breaker
+
+	wantS        float64
+	wantW, wantC int
+	wantTNear    int64
+
+	draining atomic.Bool
+	started  atomic.Bool
+	done     chan struct{}
+
+	mu        sync.Mutex
+	merged    uint64
+	mergeFail uint64
+	rejected  uint64
+	dropped   uint64
+	lostSamp  uint64
+	ckptOK    uint64
+	ckptFail  uint64
+	ckptShort uint64
+	sinceCkpt int
+}
+
+// NewService builds a service. seed, when non-nil, becomes the aggregate
+// (e.g. a checkpoint reloaded at startup) and defines the sampling
+// configuration; otherwise an empty aggregate is built from cfg.
+func NewService(cfg Config, seed *profile.DB) (*Service, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	q, err := NewQueue(cfg.QueueDepth, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if seed == nil {
+		seed = profile.NewDB(cfg.Interval, cfg.Window, cfg.Width)
+	}
+	s := &Service{
+		cfg:  cfg,
+		agg:  profile.NewSafeDB(seed),
+		q:    q,
+		brk:  NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		done: make(chan struct{}),
+	}
+	s.wantS, s.wantW, s.wantC, s.wantTNear = s.agg.SamplingConfig()
+	if s.cfg.persist == nil {
+		s.cfg.persist = func() error {
+			return profile.WriteAtomic(s.cfg.CheckpointPath, s.agg.Save)
+		}
+	}
+	return s, nil
+}
+
+// Aggregate returns the shared aggregate database.
+func (s *Service) Aggregate() *profile.SafeDB { return s.agg }
+
+// Breaker returns the persistence circuit breaker (readiness probes
+// inspect its state).
+func (s *Service) Breaker() *Breaker { return s.brk }
+
+// QueueDepth returns the current backlog (load-shedding input).
+func (s *Service) QueueDepth() int { return s.q.Len() }
+
+// Draining reports whether a drain has begun.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Start launches the aggregator goroutine.
+func (s *Service) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	go s.run()
+}
+
+// Submit admits one decoded submission into the queue. On refusal the
+// shard's captured samples are recorded as aggregate loss — overload
+// degrades the estimates' precision, never their centring — and a typed
+// error says why. A config-mismatched shard is refused WITHOUT loss
+// accounting: its samples were never part of this aggregate's population.
+func (s *Service) Submit(sub Submission) error {
+	if s.draining.Load() {
+		s.accountLoss(sub, &s.rejected)
+		return ErrDraining
+	}
+	if err := s.compatible(sub.DB); err != nil {
+		return err
+	}
+	dropped, ok := s.q.Offer(sub)
+	for _, d := range dropped {
+		s.accountLoss(d, &s.dropped)
+		s.logf("overflow: dropped oldest shard %s (%d captured samples accounted as loss)", d.Shard, d.Captured())
+	}
+	if !ok {
+		s.accountLoss(sub, &s.rejected)
+		return ErrQueueFull
+	}
+	return nil
+}
+
+// compatible refuses shards that DB.Merge would refuse, before they
+// occupy queue space.
+func (s *Service) compatible(db *profile.DB) error {
+	if db.S != s.wantS || db.W != s.wantW || db.C != s.wantC || db.TNear != s.wantTNear {
+		return fmt.Errorf("%w: shard (S=%g W=%d C=%d TNear=%d) vs aggregate (S=%g W=%d C=%d TNear=%d)",
+			ErrConfigMismatch, db.S, db.W, db.C, db.TNear, s.wantS, s.wantW, s.wantC, s.wantTNear)
+	}
+	return nil
+}
+
+// accountLoss records a never-merged submission's captured samples as
+// aggregate loss and bumps the given refusal counter.
+func (s *Service) accountLoss(sub Submission, counter *uint64) {
+	n := sub.Captured()
+	s.agg.RecordLoss(n)
+	s.mu.Lock()
+	*counter++
+	s.lostSamp += n
+	s.mu.Unlock()
+}
+
+// run is the aggregator loop: single consumer, so the merge path itself
+// needs no locking beyond SafeDB's.
+func (s *Service) run() {
+	defer close(s.done)
+	for {
+		sub, ok := s.q.Wait()
+		if !ok {
+			return
+		}
+		s.merge(sub)
+	}
+}
+
+// merge folds one submission into the aggregate and checkpoints through
+// the breaker on the configured cadence.
+func (s *Service) merge(sub Submission) {
+	if s.cfg.mergeHook != nil {
+		s.cfg.mergeHook(sub)
+	}
+	if err := s.agg.Merge(sub.DB); err != nil {
+		// Admission screens configurations, so this is rare (e.g. metric
+		// registration skew) — but it still must be accounted, not lost.
+		s.accountLoss(sub, &s.mergeFail)
+		s.logf("merge failed for shard %s: %v (accounted as loss)", sub.Shard, err)
+		return
+	}
+	s.mu.Lock()
+	s.merged++
+	s.sinceCkpt++
+	due := s.cfg.CheckpointPath != "" && s.sinceCkpt >= s.cfg.CheckpointEvery
+	s.mu.Unlock()
+	if due {
+		s.checkpoint()
+	}
+}
+
+// checkpoint persists the aggregate through the circuit breaker: an open
+// breaker skips the write (counted, retried next cadence) instead of
+// stalling ingest on a dead disk.
+func (s *Service) checkpoint() {
+	err := s.brk.Do(s.cfg.persist)
+	s.mu.Lock()
+	switch {
+	case errors.Is(err, ErrBreakerOpen):
+		s.ckptShort++
+	case err != nil:
+		s.ckptFail++
+	default:
+		s.ckptOK++
+		s.sinceCkpt = 0
+	}
+	s.mu.Unlock()
+	if err != nil && !errors.Is(err, ErrBreakerOpen) {
+		s.logf("checkpoint failed: %v", err)
+	}
+}
+
+// BeginDrain stops admission (Submit starts refusing with ErrDraining)
+// without waiting for the backlog. The HTTP layer calls this the moment
+// SIGTERM arrives so readiness flips immediately.
+func (s *Service) BeginDrain() {
+	s.draining.Store(true)
+}
+
+// Drain completes the graceful-shutdown sequence: stop admission, flush
+// the queued backlog through the aggregator, then write the final
+// checkpoint — bypassing the breaker, because this is the last chance to
+// persist and a stale open state must not discard the run. Returns when
+// the aggregate is fully merged and durable (or ctx expires).
+func (s *Service) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	s.q.Close()
+	if s.started.Load() {
+		select {
+		case <-s.done:
+		case <-ctx.Done():
+			return fmt.Errorf("ingest: drain: %w", context.Cause(ctx))
+		}
+	} else {
+		// Never started: flush the backlog inline.
+		for {
+			sub, ok := s.q.Wait()
+			if !ok {
+				break
+			}
+			s.merge(sub)
+		}
+	}
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	if err := s.cfg.persist(); err != nil {
+		return fmt.Errorf("ingest: final checkpoint: %w", err)
+	}
+	s.mu.Lock()
+	s.ckptOK++
+	s.mu.Unlock()
+	s.logf("drained: %d samples aggregated, %d lost (%.1f%% loss), final checkpoint at %s",
+		s.agg.Samples(), s.agg.Lost(), 100*s.agg.LossRate(), s.cfg.CheckpointPath)
+	return nil
+}
+
+// Stats returns a snapshot of every counter the service keeps.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Merged:             s.merged,
+		MergeFailed:        s.mergeFail,
+		OverloadRejected:   s.rejected,
+		OverloadDropped:    s.dropped,
+		SamplesLost:        s.lostSamp,
+		Checkpoints:        s.ckptOK,
+		CheckpointFailures: s.ckptFail,
+		CheckpointShorted:  s.ckptShort,
+	}
+	s.mu.Unlock()
+	st.Queue = s.q.Stats()
+	st.Breaker = s.brk.Stats()
+	st.Draining = s.draining.Load()
+	st.Samples = s.agg.Samples()
+	st.Lost = s.agg.Lost()
+	st.LossRate = s.agg.LossRate()
+	return st
+}
+
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Log == nil {
+		return
+	}
+	fmt.Fprintf(s.cfg.Log, "ingest: "+format+"\n", args...)
+}

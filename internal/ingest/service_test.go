@@ -1,0 +1,230 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"profileme/internal/profile"
+)
+
+func testServiceConfig(dir string) Config {
+	return Config{
+		QueueDepth:     4,
+		Interval:       16,
+		Width:          4,
+		CheckpointPath: filepath.Join(dir, "agg.db"),
+	}
+}
+
+// TestServiceOverflowAccounting is the deterministic half of the overload
+// contract: with the aggregator not yet started, a burst beyond queue
+// capacity is refused at admission, and every refused shard's captured
+// samples land in the aggregate's loss accounting — exactly.
+func TestServiceOverflowAccounting(t *testing.T) {
+	svc, err := NewService(testServiceConfig(t.TempDir()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 16 // 4x queue capacity
+	var wantMerged, wantLost uint64
+	var accepted, rejected int
+	for i := 0; i < n; i++ {
+		s := sub("s", uint64(i), 10+i)
+		err := svc.Submit(s)
+		switch {
+		case err == nil:
+			accepted++
+			wantMerged += s.Captured()
+		case errors.Is(err, ErrQueueFull):
+			rejected++
+			wantLost += s.Captured()
+		default:
+			t.Fatalf("submission %d: unexpected error %v", i, err)
+		}
+	}
+	if accepted != 4 || rejected != 12 {
+		t.Fatalf("accepted %d rejected %d, want 4/12", accepted, rejected)
+	}
+
+	// Drain flushes the backlog inline and writes the final checkpoint.
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	agg := svc.Aggregate()
+	if got := agg.Samples(); got != wantMerged {
+		t.Fatalf("aggregate samples %d, want %d", got, wantMerged)
+	}
+	if got := agg.Lost(); got != wantLost {
+		t.Fatalf("aggregate lost %d, want %d (reconciliation must be exact)", got, wantLost)
+	}
+	st := svc.Stats()
+	if st.OverloadRejected != 12 || st.SamplesLost != wantLost || st.Merged != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// The final checkpoint must be CRC-valid and carry the same totals.
+	loaded, err := profile.LoadFile(svc.cfg.CheckpointPath)
+	if err != nil {
+		t.Fatalf("final checkpoint: %v", err)
+	}
+	if loaded.Samples() != wantMerged || loaded.Lost() != wantLost {
+		t.Fatalf("checkpoint totals %d/%d, want %d/%d",
+			loaded.Samples(), loaded.Lost(), wantMerged, wantLost)
+	}
+}
+
+// TestServiceDropOldestAccounting: with DropOldest, the newest burst
+// survives and evicted shards are accounted as loss.
+func TestServiceDropOldestAccounting(t *testing.T) {
+	cfg := testServiceConfig(t.TempDir())
+	cfg.Policy = DropOldest
+	cfg.QueueDepth = 2
+	svc, err := NewService(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var all []Submission
+	for i := 0; i < 5; i++ {
+		s := sub("s", uint64(i), 10)
+		all = append(all, s)
+		if err := svc.Submit(s); err != nil {
+			t.Fatalf("DropOldest submission %d refused: %v", i, err)
+		}
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Last 2 merged; first 3 evicted.
+	var wantMerged, wantLost uint64
+	for _, s := range all[:3] {
+		wantLost += s.Captured()
+	}
+	for _, s := range all[3:] {
+		wantMerged += s.Captured()
+	}
+	agg := svc.Aggregate()
+	if agg.Samples() != wantMerged || agg.Lost() != wantLost {
+		t.Fatalf("samples/lost %d/%d, want %d/%d", agg.Samples(), agg.Lost(), wantMerged, wantLost)
+	}
+	if st := svc.Stats(); st.OverloadDropped != 3 {
+		t.Fatalf("dropped %d, want 3", st.OverloadDropped)
+	}
+}
+
+func TestServiceConfigMismatchRejectedWithoutLoss(t *testing.T) {
+	svc, err := NewService(testServiceConfig(t.TempDir()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Submission{Shard: "skewed", DB: profile.NewDB(999, 0, 4)}
+	if err := svc.Submit(bad); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("mismatched shard: %v", err)
+	}
+	if got := svc.Aggregate().Lost(); got != 0 {
+		t.Fatalf("mismatch accounted as loss (%d): those samples were never in this population", got)
+	}
+}
+
+// TestServiceBreakerSuspendsCheckpoints: a dead checkpoint path opens the
+// breaker after the threshold, later merges short-circuit the write, and
+// ingest itself keeps working.
+func TestServiceBreakerSuspendsCheckpoints(t *testing.T) {
+	cfg := testServiceConfig(t.TempDir())
+	cfg.QueueDepth = 64
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = time.Hour
+	var mu sync.Mutex
+	persistCalls := 0
+	cfg.persist = func() error {
+		mu.Lock()
+		persistCalls++
+		mu.Unlock()
+		return errors.New("checkpoint device gone")
+	}
+	svc, err := NewService(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := svc.Submit(sub("s", uint64(i), 5)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	svc.Start()
+	// Drain flushes the queue; the final checkpoint also fails, which
+	// Drain must surface — losing the aggregate silently is the one
+	// unacceptable outcome.
+	if err := svc.Drain(context.Background()); err == nil {
+		t.Fatal("drain succeeded with a dead checkpoint path")
+	}
+	st := svc.Stats()
+	if st.Merged != 6 {
+		t.Fatalf("merged %d, want 6 (ingest must survive a dead disk)", st.Merged)
+	}
+	if st.CheckpointFailures < 2 {
+		t.Fatalf("checkpoint failures %d, want >= 2", st.CheckpointFailures)
+	}
+	if st.CheckpointShorted == 0 {
+		t.Fatal("no checkpoint was short-circuited: breaker never opened")
+	}
+	mu.Lock()
+	calls := persistCalls
+	mu.Unlock()
+	// threshold failures + the breaker-bypassing final attempt; every
+	// other checkpoint was short-circuited without touching the disk.
+	if calls != 3 {
+		t.Fatalf("persist called %d times, want 3 (2 to trip + 1 final bypass)", calls)
+	}
+}
+
+// TestServiceDrainWaitsForBacklog: submissions in flight when the drain
+// starts are merged, not lost, and Submit refuses during the drain with
+// loss accounting.
+func TestServiceDrainWaitsForBacklog(t *testing.T) {
+	cfg := testServiceConfig(t.TempDir())
+	cfg.QueueDepth = 64
+	release := make(chan struct{})
+	var once sync.Once
+	gate := make(chan struct{})
+	cfg.mergeHook = func(Submission) {
+		once.Do(func() { close(gate) })
+		<-release
+	}
+	svc, err := NewService(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for i := 0; i < 8; i++ {
+		s := sub("s", uint64(i), 7)
+		want += s.Captured()
+		if err := svc.Submit(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Start()
+	<-gate // aggregator is mid-merge, backlog queued
+
+	svc.BeginDrain()
+	late := sub("late", 99, 7)
+	if err := svc.Submit(late); !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining service admitted work: %v", err)
+	}
+	close(release)
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	agg := svc.Aggregate()
+	if agg.Samples() != want {
+		t.Fatalf("drained samples %d, want %d", agg.Samples(), want)
+	}
+	if agg.Lost() != late.Captured() {
+		t.Fatalf("drain-refused shard not accounted: lost %d, want %d", agg.Lost(), late.Captured())
+	}
+}

@@ -109,6 +109,15 @@ func (a *PCAccum) MeanLatency(i int) float64 {
 }
 
 // DB is the profile database: per-PC aggregation plus whole-run totals.
+//
+// Concurrency ownership rule: a DB is NOT safe for concurrent use. Every
+// DB has exactly one owning goroutine at a time — the interrupt handler
+// during accumulation, the supervisor during a merge — and ownership
+// transfers only at a synchronization point (channel handoff, WaitGroup
+// join). The moment two goroutines need the same database at once
+// (concurrent ingest plus live queries, as in the pmsimd service), wrap
+// it in a SafeDB instead; the race test in safedb_test.go pins that
+// wrapper's guarantee.
 type DB struct {
 	// S is the mean sampling interval, for scaling estimates.
 	S float64

@@ -1,0 +1,170 @@
+package profile
+
+import (
+	"io"
+	"sync"
+
+	"profileme/internal/core"
+	"profileme/internal/isa"
+)
+
+// SafeDB wraps a DB with an RWMutex so one aggregate can be shared
+// between concurrent ingesters (Merge, RecordLoss) and readers
+// (estimator queries, reports, Save). It is the concurrency boundary the
+// pmsimd service builds on: a plain DB stays single-owner (see the DB doc
+// comment), and the moment two goroutines need the same database, it goes
+// behind a SafeDB.
+//
+// Reader methods never leak interior pointers: accumulators are returned
+// by value with their slices deep-copied, so a caller can hold a result
+// across later merges without racing the writers.
+type SafeDB struct {
+	mu sync.RWMutex
+	db *DB
+}
+
+// NewSafeDB wraps db. The caller must hand over ownership: after this
+// call, all access to db goes through the wrapper.
+func NewSafeDB(db *DB) *SafeDB { return &SafeDB{db: db} }
+
+// SamplingConfig returns the wrapped database's sampling configuration —
+// what an incoming shard must match to be mergeable.
+func (s *SafeDB) SamplingConfig() (interval float64, window, width int, tNear int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.S, s.db.W, s.db.C, s.db.TNear
+}
+
+// Merge folds a shard database into the aggregate (write lock). The
+// shard must not be accessed concurrently by anyone else; ownership of
+// its counts transfers to the aggregate.
+func (s *SafeDB) Merge(other *DB) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Merge(other)
+}
+
+// Add folds one sample into the aggregate (write lock).
+func (s *SafeDB) Add(smp core.Sample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.db.Add(smp)
+}
+
+// RecordLoss notes n captured-but-never-delivered samples (write lock).
+func (s *SafeDB) RecordLoss(n uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.db.RecordLoss(n)
+}
+
+// Samples returns the number of delivered samples.
+func (s *SafeDB) Samples() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.Samples()
+}
+
+// Pairs returns the number of paired samples.
+func (s *SafeDB) Pairs() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.Pairs()
+}
+
+// Lost returns the total samples known lost before aggregation.
+func (s *SafeDB) Lost() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.Lost()
+}
+
+// CorruptRejected returns the count of delivered samples rejected as
+// damaged.
+func (s *SafeDB) CorruptRejected() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.CorruptRejected()
+}
+
+// LossRate returns the fraction of captured samples that never made it
+// into the aggregate.
+func (s *SafeDB) LossRate() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.LossRate()
+}
+
+// EstimatedCount estimates how many times pc was fetched, loss-corrected.
+func (s *SafeDB) EstimatedCount(pc uint64) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.EstimatedCount(pc)
+}
+
+// EstimatedEventCount estimates occurrences of ev at pc, loss-corrected.
+func (s *SafeDB) EstimatedEventCount(pc uint64, ev core.Event) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.EstimatedEventCount(pc, ev)
+}
+
+// PCs returns all profiled PCs in ascending order.
+func (s *SafeDB) PCs() []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.PCs()
+}
+
+// Get returns a deep copy of the accumulator for pc; ok is false when the
+// PC has never been sampled.
+func (s *SafeDB) Get(pc uint64) (PCAccum, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a := s.db.Get(pc)
+	if a == nil {
+		return PCAccum{}, false
+	}
+	return copyAccum(a), true
+}
+
+// HotPCs returns deep copies of the n hottest accumulators, descending by
+// sample count.
+func (s *SafeDB) HotPCs(n int) []PCAccum {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	accs := s.db.HotPCs(n)
+	out := make([]PCAccum, len(accs))
+	for i, a := range accs {
+		out[i] = copyAccum(a)
+	}
+	return out
+}
+
+// Save writes the aggregate as a versioned, checksummed envelope (read
+// lock: serialization does not mutate the database).
+func (s *SafeDB) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.Save(w)
+}
+
+// Report renders the hot-instruction table.
+func (s *SafeDB) Report(prog *isa.Program, n int) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.Report(prog, n)
+}
+
+// copyAccum deep-copies an accumulator so the result shares no slices
+// with the live database.
+func copyAccum(a *PCAccum) PCAccum {
+	out := *a
+	if a.Addrs != nil {
+		out.Addrs = append([]uint64(nil), a.Addrs...)
+	}
+	if a.PairMetrics != nil {
+		out.PairMetrics = append([]uint64(nil), a.PairMetrics...)
+	}
+	return out
+}

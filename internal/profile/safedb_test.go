@@ -1,0 +1,138 @@
+package profile
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"profileme/internal/core"
+)
+
+// safeShard builds a small single-owner shard database with samples
+// spread over a deterministic set of PCs.
+func safeShard(seed uint64) *DB {
+	db := NewDB(16, 0, 4)
+	for i := uint64(0); i < 50; i++ {
+		pc := 0x400 + 8*((seed+i*7)%13)
+		r := rec(pc, true, 0, 1, 2, 3, 5, 9)
+		if i%3 == 0 {
+			r.Events |= core.EvDCacheMiss
+		}
+		db.Add(core.Sample{First: r})
+	}
+	db.RecordLoss(seed % 5)
+	return db
+}
+
+// TestSafeDBConcurrentMergeAndQuery is the wrapper's contract test: many
+// goroutines merging shards and recording losses while many others run
+// estimator queries, hot-PC scans, and envelope saves. It must pass under
+// -race (CI runs the test suite with the race detector on), and the final
+// totals must be exact — concurrency may reorder merges but never lose
+// or double-count samples.
+func TestSafeDBConcurrentMergeAndQuery(t *testing.T) {
+	agg := NewSafeDB(NewDB(16, 0, 4))
+
+	const (
+		writers = 8
+		merges  = 20
+		readers = 8
+	)
+
+	var wantSamples, wantLost uint64
+	shards := make([][]*DB, writers)
+	for w := range shards {
+		shards[w] = make([]*DB, merges)
+		for m := range shards[w] {
+			db := safeShard(uint64(w*merges + m))
+			wantSamples += db.Samples()
+			wantLost += db.Lost()
+			shards[w][m] = db
+		}
+	}
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, a := range agg.HotPCs(5) {
+					agg.EstimatedCount(a.PC)
+					agg.EstimatedEventCount(a.PC, core.EvDCacheMiss)
+				}
+				agg.LossRate()
+				if r == 0 {
+					var buf bytes.Buffer
+					if err := agg.Save(&buf); err != nil {
+						t.Errorf("concurrent save: %v", err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for _, db := range shards[w] {
+				extra := db.Lost() // split: merge carries the shard's own loss
+				if err := agg.Merge(db); err != nil {
+					t.Errorf("merge: %v", err)
+					return
+				}
+				agg.RecordLoss(extra)
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	if got := agg.Samples(); got != wantSamples {
+		t.Fatalf("samples %d after concurrent merges, want %d", got, wantSamples)
+	}
+	// Each shard's loss was counted twice on purpose: once via Merge, once
+	// via RecordLoss, to exercise both write paths.
+	if got := agg.Lost(); got != 2*wantLost {
+		t.Fatalf("lost %d after concurrent merges, want %d", got, 2*wantLost)
+	}
+}
+
+// TestSafeDBCopiesDoNotAlias verifies reader results are deep copies: a
+// merge after the read must not mutate the slices a caller holds.
+func TestSafeDBCopiesDoNotAlias(t *testing.T) {
+	base := NewDB(16, 0, 4)
+	base.RetainAddrs = 4
+	r := rec(0x400, true, 0, 1, 2, 3, 5, 9)
+	r.Addr, r.AddrValid = 0x1000, true
+	base.Add(core.Sample{First: r})
+	agg := NewSafeDB(base)
+
+	got, ok := agg.Get(0x400)
+	if !ok || len(got.Addrs) != 1 {
+		t.Fatalf("accumulator not returned: ok=%v addrs=%v", ok, got.Addrs)
+	}
+
+	shard := NewDB(16, 0, 4)
+	shard.RetainAddrs = 4
+	r2 := rec(0x400, true, 0, 1, 2, 3, 5, 9)
+	r2.Addr, r2.AddrValid = 0x2000, true
+	shard.Add(core.Sample{First: r2})
+	if err := agg.Merge(shard); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.Addrs) != 1 || got.Addrs[0] != 0x1000 {
+		t.Fatalf("held copy mutated by a later merge: %v", got.Addrs)
+	}
+}

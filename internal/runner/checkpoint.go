@@ -46,11 +46,13 @@ type Manifest struct {
 // Totals are the campaign counters that cannot be recomputed from the
 // aggregate database alone.
 type Totals struct {
-	Retired           uint64 `json:"retired"`
-	Cycles            int64  `json:"cycles"`
-	SamplesCaptured   uint64 `json:"samples_captured"`
-	InterruptsDropped uint64 `json:"interrupts_dropped,omitempty"`
-	SamplesCorrupted  uint64 `json:"samples_corrupted,omitempty"`
+	Retired            uint64 `json:"retired"`
+	Cycles             int64  `json:"cycles"`
+	SamplesCaptured    uint64 `json:"samples_captured"`
+	InterruptsDropped  uint64 `json:"interrupts_dropped,omitempty"`
+	SamplesCorrupted   uint64 `json:"samples_corrupted,omitempty"`
+	ShardsSubmitted    uint64 `json:"shards_submitted,omitempty"`
+	ShardsSubmitFailed uint64 `json:"shards_submit_failed,omitempty"`
 }
 
 func manifestFileName(gen uint64) string { return fmt.Sprintf("manifest-%08d.json", gen) }

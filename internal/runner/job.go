@@ -69,11 +69,17 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("runner: job panicked: %s\n%s", e.Value, e.Stack)
 }
 
-// transientErr reports whether a job failure is worth retrying with a
-// perturbed seed: livelocks, cycle-budget and wall-clock deadline
-// overruns are timing pathologies that a different sampling/fault stream
-// usually avoids. Panics and unknown-benchmark errors are permanent.
+// transientErr reports whether a failure is worth retrying: livelocks,
+// cycle-budget and wall-clock deadline overruns are timing pathologies
+// that a different sampling/fault stream usually avoids, and a
+// SubmitError consults the collector's own taxonomy (429/503/5xx/
+// transport transient, other 4xx permanent). Panics and
+// unknown-benchmark errors are permanent.
 func transientErr(err error) bool {
+	var se *SubmitError
+	if errors.As(err, &se) {
+		return se.Transient()
+	}
 	return errors.Is(err, cpu.ErrLivelock) ||
 		errors.Is(err, cpu.ErrCanceled) ||
 		errors.Is(err, cpu.ErrCycleLimit)

@@ -29,6 +29,11 @@ type Report struct {
 	Retired uint64 `json:"retired"`
 	Cycles  int64  `json:"cycles"`
 
+	// Remote delivery (only populated when a sink is configured): a
+	// submit-failed shard still lives in the local aggregate.
+	ShardsSubmitted    uint64 `json:"shards_submitted,omitempty"`
+	ShardsSubmitFailed uint64 `json:"shards_submit_failed,omitempty"`
+
 	Drained              bool     `json:"drained"` // a graceful drain cut the campaign short
 	DeadLetters          []string `json:"dead_letters,omitempty"`
 	CheckpointGeneration uint64   `json:"checkpoint_generation,omitempty"`
@@ -59,6 +64,8 @@ func (f *Fleet) buildReport() *Report {
 	r.Retired = f.totals.Retired
 	r.Cycles = f.totals.Cycles
 	r.SamplesCaptured = f.totals.SamplesCaptured
+	r.ShardsSubmitted = f.totals.ShardsSubmitted
+	r.ShardsSubmitFailed = f.totals.ShardsSubmitFailed
 	if f.agg != nil {
 		r.SamplesDelivered = f.agg.Samples()
 		r.SamplesLost = f.agg.Lost()
@@ -76,6 +83,10 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "samples: %d delivered, %d lost (%d corrupt-rejected), loss rate %.1f%%; %d captured by hardware\n",
 		r.SamplesDelivered, r.SamplesLost, r.CorruptRejected, 100*r.LossRate, r.SamplesCaptured)
 	fmt.Fprintf(&b, "work: %d instructions retired over %d simulated cycles\n", r.Retired, r.Cycles)
+	if r.ShardsSubmitted+r.ShardsSubmitFailed > 0 {
+		fmt.Fprintf(&b, "collector: %d shards delivered, %d undeliverable (kept local)\n",
+			r.ShardsSubmitted, r.ShardsSubmitFailed)
+	}
 	if r.Drained {
 		fmt.Fprintf(&b, "campaign drained before completion; resume with -resume to finish %d pending jobs\n", r.Pending)
 	}

@@ -84,6 +84,11 @@ type Config struct {
 	// genuine livelock into a retryable typed error long before the
 	// wall-clock deadline has to fire.
 	CPU cpu.Config
+	// Sink, when set, additionally delivers each completed shard to a
+	// remote collector (pmsim -submit wires an HTTPSink to a pmsimd
+	// daemon). Delivery failures degrade to local-only aggregation; they
+	// never fail the job.
+	Sink Sink
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
 
@@ -276,6 +281,9 @@ type outcome struct {
 	err      error
 	attempts int
 	seed     uint64
+	// submitErr is the terminal remote-submission failure, when a sink is
+	// configured and delivery exhausted its retries (nil otherwise).
+	submitErr error
 }
 
 // errGraceExpired is the hard-cancellation cause after a drain grace
@@ -404,6 +412,15 @@ func (f *Fleet) absorb(out outcome) {
 	rec.Status = StatusDone
 	rec.Error = ""
 	f.completed = append(f.completed, rec.Job.ID)
+	if f.cfg.Sink != nil {
+		if out.submitErr == nil {
+			f.totals.ShardsSubmitted++
+		} else {
+			f.totals.ShardsSubmitFailed++
+			f.logf("job %s: shard not delivered to collector: %v (kept in local aggregate only)",
+				rec.Job.ID, out.submitErr)
+		}
+	}
 	f.totals.Retired += out.art.res.Retired
 	f.totals.Cycles += out.art.res.Cycles
 	f.totals.SamplesCaptured += out.art.stats.Captured()
@@ -431,7 +448,11 @@ func (f *Fleet) runJob(hardCtx context.Context, rec *JobRecord) outcome {
 		art, err := f.exec(actx, rec.Job, seed)
 		cancel()
 		if err == nil {
-			return outcome{rec: rec, kind: outDone, art: art, attempts: attempts, seed: seed}
+			// Remote delivery happens in the worker (network I/O overlaps
+			// other jobs' simulation) and never re-runs the simulation: the
+			// artifacts are already in hand, only the POST retries.
+			return outcome{rec: rec, kind: outDone, art: art, attempts: attempts, seed: seed,
+				submitErr: f.submitShard(hardCtx, rec.Job.ID, art.db)}
 		}
 		if hardCtx.Err() != nil {
 			return outcome{rec: rec, kind: outInterrupted, attempts: attempts - 1, seed: seed}

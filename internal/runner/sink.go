@@ -1,0 +1,141 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"profileme/internal/ingest"
+	"profileme/internal/profile"
+)
+
+// Sink receives each completed job's shard profile. A fleet with a sink
+// still merges every shard into its local aggregate — the sink is an
+// additional destination (a pmsimd collector), and a shard that cannot
+// be delivered degrades to local-only instead of failing the job.
+type Sink interface {
+	Submit(ctx context.Context, shard string, db *profile.DB) error
+}
+
+// SubmitError is a typed shard-submission failure carrying the
+// collector's HTTP status, so the retry loop can apply the service's own
+// taxonomy: 429 (queue full) and 503 (draining/overloaded) are explicit
+// backpressure, 5xx and transport failures are transient, and any other
+// 4xx (damaged payload, config mismatch) is permanent — retrying a 409
+// can only waste the collector's admission budget.
+type SubmitError struct {
+	// Status is the HTTP status; 0 means the request never completed
+	// (transport failure).
+	Status int
+	// Kind is the collector's error kind ("queue-full", "draining", ...).
+	Kind string
+	Msg  string
+}
+
+func (e *SubmitError) Error() string {
+	if e.Status == 0 {
+		return fmt.Sprintf("runner: shard submission: %s", e.Msg)
+	}
+	return fmt.Sprintf("runner: shard submission refused: %d %s (%s)", e.Status, e.Kind, e.Msg)
+}
+
+// Transient reports whether a retry with backoff can plausibly succeed.
+func (e *SubmitError) Transient() bool {
+	switch {
+	case e.Status == 0:
+		return true // transport: collector restarting, network blip
+	case e.Status == http.StatusTooManyRequests, e.Status == http.StatusServiceUnavailable:
+		return true // explicit backpressure: Retry-After semantics
+	case e.Status >= 500:
+		return true
+	default:
+		return false // other 4xx: the request itself is unacceptable
+	}
+}
+
+// HTTPSink posts shard profiles to a pmsimd collector's /v1/submit.
+type HTTPSink struct {
+	// BaseURL is the collector root, e.g. "http://localhost:7070".
+	BaseURL string
+	// Client defaults to a 30s-timeout client.
+	Client *http.Client
+}
+
+// NewHTTPSink builds a sink for the collector at baseURL.
+func NewHTTPSink(baseURL string) *HTTPSink {
+	return &HTTPSink{
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		Client:  &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Submit posts one shard. Non-202 responses come back as *SubmitError
+// with the collector's status and error kind.
+func (s *HTTPSink) Submit(ctx context.Context, shard string, db *profile.DB) error {
+	body, err := ingest.EncodeSubmit(shard, db)
+	if err != nil {
+		return fmt.Errorf("runner: encode shard %s: %w", shard, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.BaseURL+"/v1/submit", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("runner: shard submission request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := s.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return &SubmitError{Status: 0, Msg: err.Error()}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	se := &SubmitError{Status: resp.StatusCode}
+	var apiErr struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}
+	if raw, err := io.ReadAll(io.LimitReader(resp.Body, 4096)); err == nil {
+		if json.Unmarshal(raw, &apiErr) == nil {
+			se.Kind, se.Msg = apiErr.Kind, apiErr.Error
+		} else {
+			se.Msg = strings.TrimSpace(string(raw))
+		}
+	}
+	return se
+}
+
+// submitShard delivers one completed shard to the configured sink with
+// the fleet's retry/backoff machinery: transient refusals (429/503/5xx/
+// transport) retry up to the attempt budget, permanent ones bail out
+// immediately. Failure never fails the job — the shard is already merged
+// locally — it is reported as degradation.
+func (f *Fleet) submitShard(ctx context.Context, id string, db *profile.DB) error {
+	if f.cfg.Sink == nil {
+		return nil
+	}
+	for attempt := 1; ; attempt++ {
+		err := f.cfg.Sink.Submit(ctx, id, db)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || !transientErr(err) || attempt >= f.cfg.MaxAttempts {
+			return err
+		}
+		f.logf("job %s shard submission attempt %d failed: %v", id, attempt, err)
+		select {
+		case <-time.After(f.backoff(id+"#submit", attempt)):
+		case <-ctx.Done():
+			return err
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"profileme/internal/cpu"
+	"profileme/internal/ingest"
+	"profileme/internal/profile"
+	"profileme/internal/server"
+)
+
+func TestSubmitErrorTaxonomy(t *testing.T) {
+	transient := []int{0, http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusInternalServerError, http.StatusBadGateway}
+	for _, status := range transient {
+		se := &SubmitError{Status: status}
+		if !se.Transient() {
+			t.Errorf("status %d classified permanent, want transient", status)
+		}
+		if !transientErr(se) {
+			t.Errorf("transientErr(%d) = false through errors.As", status)
+		}
+	}
+	permanent := []int{http.StatusBadRequest, http.StatusNotFound, http.StatusConflict,
+		http.StatusRequestEntityTooLarge}
+	for _, status := range permanent {
+		se := &SubmitError{Status: status}
+		if se.Transient() {
+			t.Errorf("status %d classified transient, want permanent", status)
+		}
+		if transientErr(se) {
+			t.Errorf("transientErr(%d) = true; retrying cannot help", status)
+		}
+	}
+}
+
+// fakeSink scripts per-shard outcomes: each Submit pops the next error
+// from the shard's queue (empty queue = success).
+type fakeSink struct {
+	mu      sync.Mutex
+	scripts map[string][]error
+	got     map[string]int
+}
+
+func newFakeSink() *fakeSink {
+	return &fakeSink{scripts: make(map[string][]error), got: make(map[string]int)}
+}
+
+func (s *fakeSink) Submit(ctx context.Context, shard string, db *profile.DB) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.got[shard]++
+	if q := s.scripts[shard]; len(q) > 0 {
+		err := q[0]
+		s.scripts[shard] = q[1:]
+		return err
+	}
+	return nil
+}
+
+func (s *fakeSink) calls(shard string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.got[shard]
+}
+
+// TestFleetSubmitsEveryCompletedShard: with a healthy sink, each
+// completed job is delivered exactly once and the report says so.
+func TestFleetSubmitsEveryCompletedShard(t *testing.T) {
+	sink := newFakeSink()
+	cfg := testConfig(2)
+	cfg.Sink = sink
+	cfg.execute = func(ctx context.Context, job Job, seed uint64) (*jobArtifacts, error) {
+		return stubArtifacts(512, cpu.DefaultConfig().SustainedIssueWidth), nil
+	}
+	f, err := New(cfg, testJobs("a", "b", "c", "d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := mustRun(t, f)
+	if rep.ShardsSubmitted != 4 || rep.ShardsSubmitFailed != 0 {
+		t.Fatalf("submitted %d failed %d, want 4/0", rep.ShardsSubmitted, rep.ShardsSubmitFailed)
+	}
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if got := sink.calls(id); got != 1 {
+			t.Fatalf("shard %s submitted %d times, want 1", id, got)
+		}
+	}
+}
+
+// TestFleetSubmitRetryTaxonomy: transient refusals (429/503) are retried
+// within the attempt budget; a permanent refusal (409) is not retried,
+// and neither failure mode fails the job itself.
+func TestFleetSubmitRetryTaxonomy(t *testing.T) {
+	sink := newFakeSink()
+	// "flaky" recovers after two rounds of backpressure; "skewed" is
+	// refused permanently; "dead" exhausts the budget on endless 503s.
+	sink.scripts["flaky"] = []error{
+		&SubmitError{Status: http.StatusTooManyRequests, Kind: "queue-full"},
+		&SubmitError{Status: http.StatusServiceUnavailable, Kind: "draining"},
+	}
+	sink.scripts["skewed"] = []error{
+		&SubmitError{Status: http.StatusConflict, Kind: "config-mismatch"},
+	}
+	sink.scripts["dead"] = []error{
+		&SubmitError{Status: http.StatusServiceUnavailable},
+		&SubmitError{Status: http.StatusServiceUnavailable},
+		&SubmitError{Status: http.StatusServiceUnavailable},
+		&SubmitError{Status: http.StatusServiceUnavailable},
+	}
+	cfg := testConfig(1)
+	cfg.Sink = sink
+	cfg.execute = func(ctx context.Context, job Job, seed uint64) (*jobArtifacts, error) {
+		return stubArtifacts(512, cpu.DefaultConfig().SustainedIssueWidth), nil
+	}
+	f, err := New(cfg, testJobs("flaky", "skewed", "dead"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := mustRun(t, f)
+	// Submission failures are degradation, never job failures.
+	if rep.Completed != 3 || rep.DeadLettered != 0 {
+		t.Fatalf("completed %d dead %d, want 3/0", rep.Completed, rep.DeadLettered)
+	}
+	if rep.ShardsSubmitted != 1 || rep.ShardsSubmitFailed != 2 {
+		t.Fatalf("submitted %d failed %d, want 1/2", rep.ShardsSubmitted, rep.ShardsSubmitFailed)
+	}
+	if got := sink.calls("flaky"); got != 3 {
+		t.Fatalf("flaky submitted %d times, want 3 (two backoffs then success)", got)
+	}
+	if got := sink.calls("skewed"); got != 1 {
+		t.Fatalf("skewed submitted %d times, want 1 (409 is permanent)", got)
+	}
+	if got := sink.calls("dead"); got != cfg.MaxAttempts {
+		t.Fatalf("dead submitted %d times, want the %d-attempt budget", got, cfg.MaxAttempts)
+	}
+}
+
+// TestHTTPSinkAgainstService is the integration slice: a real fleet with
+// stub simulations delivering through HTTPSink to a real pmsimd handler,
+// with the collector's aggregate ending up sample-for-sample equal to
+// the fleet's local one.
+func TestHTTPSinkAgainstService(t *testing.T) {
+	svc, err := ingest.NewService(ingest.Config{
+		QueueDepth: 16,
+		Interval:   512,
+		Width:      cpu.DefaultConfig().SustainedIssueWidth,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	ts := httptest.NewServer(server.New(server.Config{}, svc).Handler())
+	defer ts.Close()
+
+	cfg := testConfig(2)
+	cfg.Sink = NewHTTPSink(ts.URL)
+	cfg.execute = func(ctx context.Context, job Job, seed uint64) (*jobArtifacts, error) {
+		return stubArtifacts(512, cpu.DefaultConfig().SustainedIssueWidth), nil
+	}
+	f, err := New(cfg, testJobs("a", "b", "c", "d", "e"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := mustRun(t, f)
+	if rep.ShardsSubmitted != 5 || rep.ShardsSubmitFailed != 0 {
+		t.Fatalf("submitted %d failed %d, want 5/0", rep.ShardsSubmitted, rep.ShardsSubmitFailed)
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	agg := svc.Aggregate()
+	local := f.Profile()
+	if agg.Samples() != local.Samples() || agg.Lost() != local.Lost() {
+		t.Fatalf("collector aggregate %d/%d, local %d/%d",
+			agg.Samples(), agg.Lost(), local.Samples(), local.Lost())
+	}
+
+	// A sink pointed at a draining collector reports the refusal as a
+	// typed 503 SubmitError.
+	err = cfg.Sink.Submit(context.Background(), "late", profile.NewDB(512, 0, cpu.DefaultConfig().SustainedIssueWidth))
+	var se *SubmitError
+	if !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable {
+		t.Fatalf("draining collector: %v, want 503 SubmitError", err)
+	}
+	if se.Kind != "draining" {
+		t.Fatalf("kind %q, want draining", se.Kind)
+	}
+
+	// A sink pointed at nothing reports a transient transport failure.
+	downed := NewHTTPSink("http://127.0.0.1:1")
+	err = downed.Submit(context.Background(), "x", profile.NewDB(512, 0, cpu.DefaultConfig().SustainedIssueWidth))
+	if !errors.As(err, &se) || se.Status != 0 || !se.Transient() {
+		t.Fatalf("unreachable collector: %v, want transient transport SubmitError", err)
+	}
+}

@@ -1,0 +1,382 @@
+// Package server is pmsimd's HTTP boundary: shard submission and
+// estimator queries over JSON, with the robustness contract enforced at
+// the edge — bounded request bodies, typed 4xx for damaged submissions,
+// admission backpressure surfaced as 429/503 (+ Retry-After), query
+// concurrency limits with shedding above a high-water mark, per-request
+// deadlines, and health/readiness endpoints that flip the instant a
+// drain begins.
+//
+// Endpoints:
+//
+//	POST /v1/submit        shard profile submission (ingest JSON envelope)
+//	GET  /v1/hotpcs?n=10   top-N hot PCs with loss-corrected estimates
+//	GET  /v1/estimate?pc=  per-PC estimator rollup (optionally &event=)
+//	GET  /v1/stats         ingest/queue/breaker/loss counters
+//	GET  /v1/report?n=15   plain-text hot-instruction table
+//	GET  /healthz          liveness (200 while the process serves)
+//	GET  /readyz           readiness (503 when draining or breaker open)
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"profileme/internal/core"
+	"profileme/internal/ingest"
+	"profileme/internal/profile"
+)
+
+// Config parameterizes the HTTP layer. Zero values get usable defaults.
+type Config struct {
+	// MaxBodyBytes bounds a submission body (default 8 MiB); larger
+	// bodies get 413 before the decoder sees them.
+	MaxBodyBytes int64
+	// QueryDeadline bounds each query's handling time (default 2s).
+	QueryDeadline time.Duration
+	// MaxQueries is the query concurrency high-water mark (default 32):
+	// queries beyond it are shed with 503 instead of queueing behind a
+	// saturated aggregate lock.
+	MaxQueries int
+	// RetryAfter is the hint returned with 429/503 (default 1s).
+	RetryAfter time.Duration
+	// Log receives request-level degradation lines (nil = silent).
+	Log io.Writer
+}
+
+func (c *Config) normalize() {
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.QueryDeadline == 0 {
+		c.QueryDeadline = 2 * time.Second
+	}
+	if c.MaxQueries == 0 {
+		c.MaxQueries = 32
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+}
+
+// Server wires the ingest service to HTTP handlers.
+type Server struct {
+	cfg Config
+	svc *ingest.Service
+
+	inFlight     atomic.Int64 // queries currently being served
+	queriesShed  atomic.Uint64
+	queriesTotal atomic.Uint64
+	submits      atomic.Uint64
+}
+
+// New builds a Server over an ingest service.
+func New(cfg Config, svc *ingest.Service) *Server {
+	cfg.normalize()
+	return &Server{cfg: cfg, svc: svc}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/submit", s.handleSubmit)
+	mux.HandleFunc("/v1/hotpcs", s.query(s.handleHotPCs))
+	mux.HandleFunc("/v1/estimate", s.query(s.handleEstimate))
+	mux.HandleFunc("/v1/report", s.query(s.handleReport))
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	return mux
+}
+
+// apiError is the JSON error body; every non-2xx response carries one.
+type apiError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, status int, kind, msg string) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
+	}
+	writeJSON(w, status, apiError{Error: msg, Kind: kind})
+}
+
+// handleSubmit is the ingest edge. Every failure is typed and
+// deliberate: 413 oversized, 400 damaged envelope/payload, 409
+// unmergeable configuration, 429 queue full (backpressure), 503
+// draining. A 429/503 response means the shard's samples were recorded
+// as aggregate loss — the client may drop the shard without lying to the
+// estimators.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, "method", "POST only")
+		return
+	}
+	s.submits.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeErr(w, http.StatusRequestEntityTooLarge, "oversized",
+				fmt.Sprintf("submission body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return
+		}
+		s.writeErr(w, http.StatusBadRequest, "body", err.Error())
+		return
+	}
+	sub, err := ingest.DecodeSubmit(body)
+	if err != nil {
+		kind := "malformed"
+		switch {
+		case errors.Is(err, profile.ErrCorrupt):
+			kind = "corrupt"
+		case errors.Is(err, profile.ErrTruncated):
+			kind = "truncated"
+		case errors.Is(err, profile.ErrVersionSkew):
+			kind = "version-skew"
+		}
+		s.writeErr(w, http.StatusBadRequest, kind, err.Error())
+		return
+	}
+	captured := sub.Captured()
+	switch err := s.svc.Submit(sub); {
+	case errors.Is(err, ingest.ErrQueueFull):
+		s.logf("429 shard %s: queue full (%d captured samples accounted as loss)", sub.Shard, captured)
+		s.writeErr(w, http.StatusTooManyRequests, "queue-full", err.Error())
+	case errors.Is(err, ingest.ErrDraining):
+		s.logf("503 shard %s: draining (%d captured samples accounted as loss)", sub.Shard, captured)
+		s.writeErr(w, http.StatusServiceUnavailable, "draining", err.Error())
+	case errors.Is(err, ingest.ErrConfigMismatch):
+		s.writeErr(w, http.StatusConflict, "config-mismatch", err.Error())
+	case err != nil:
+		s.writeErr(w, http.StatusInternalServerError, "internal", err.Error())
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"shard":       sub.Shard,
+			"samples":     sub.DB.Samples(),
+			"queue_depth": s.svc.QueueDepth(),
+		})
+	}
+}
+
+// query wraps a read handler with the overload controls: shed above the
+// concurrency high-water mark, then run under a per-request deadline.
+func (s *Server) query(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.queriesTotal.Add(1)
+		if n := s.inFlight.Add(1); n > int64(s.cfg.MaxQueries) {
+			s.inFlight.Add(-1)
+			s.queriesShed.Add(1)
+			s.writeErr(w, http.StatusServiceUnavailable, "overloaded",
+				fmt.Sprintf("query concurrency above high-water mark (%d in flight)", s.cfg.MaxQueries))
+			return
+		}
+		defer s.inFlight.Add(-1)
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryDeadline)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// deadlineExpired replies 504 when the per-request deadline fired before
+// (or while) the handler ran, and reports whether it did.
+func (s *Server) deadlineExpired(w http.ResponseWriter, r *http.Request) bool {
+	select {
+	case <-r.Context().Done():
+		s.writeErr(w, http.StatusGatewayTimeout, "deadline",
+			fmt.Sprintf("query deadline %v exceeded", s.cfg.QueryDeadline))
+		return true
+	default:
+		return false
+	}
+}
+
+// hotPC is one row of the /v1/hotpcs response.
+type hotPC struct {
+	PC             string  `json:"pc"`
+	Samples        uint64  `json:"samples"`
+	EstCount       float64 `json:"est_count"`
+	RetiredPct     float64 `json:"retired_pct"`
+	DCacheMissPct  float64 `json:"dcache_miss_pct"`
+	MispredictPct  float64 `json:"mispredict_pct"`
+	MeanInProgress float64 `json:"mean_inprogress_cycles"`
+}
+
+func (s *Server) handleHotPCs(w http.ResponseWriter, r *http.Request) {
+	n := intParam(r, "n", 10)
+	if n < 1 || n > 1000 {
+		s.writeErr(w, http.StatusBadRequest, "param", "n must be in [1,1000]")
+		return
+	}
+	if s.deadlineExpired(w, r) {
+		return
+	}
+	agg := s.svc.Aggregate()
+	accs := agg.HotPCs(n)
+	rows := make([]hotPC, 0, len(accs))
+	for _, a := range accs {
+		row := hotPC{
+			PC:            fmt.Sprintf("%#x", a.PC),
+			Samples:       a.Samples,
+			EstCount:      agg.EstimatedCount(a.PC),
+			RetiredPct:    100 * profile.RateEstimate(a.Retired(), a.Samples),
+			DCacheMissPct: 100 * profile.RateEstimate(a.EventCount(core.EvDCacheMiss), a.Samples),
+			MispredictPct: 100 * profile.RateEstimate(a.EventCount(core.EvMispredict), a.Samples),
+		}
+		if a.InProgressCount > 0 {
+			row.MeanInProgress = float64(a.InProgressSum) / float64(a.InProgressCount)
+		}
+		rows = append(rows, row)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"samples":   agg.Samples(),
+		"lost":      agg.Lost(),
+		"loss_rate": agg.LossRate(),
+		"pcs":       rows,
+	})
+}
+
+// eventByName maps wire names ("dcache-miss") to event bits, built from
+// the core package's own Stringer so the two can't drift.
+var eventByName = func() map[string]core.Event {
+	m := make(map[string]core.Event)
+	for ev := core.Event(1); ev != 0 && ev <= core.KnownEvents; ev <<= 1 {
+		m[ev.String()] = ev
+	}
+	return m
+}()
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	pcStr := r.URL.Query().Get("pc")
+	if pcStr == "" {
+		s.writeErr(w, http.StatusBadRequest, "param", "pc parameter required (hex like 0x4a0 or decimal)")
+		return
+	}
+	pc, err := strconv.ParseUint(pcStr, 0, 64)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, "param", fmt.Sprintf("bad pc %q: %v", pcStr, err))
+		return
+	}
+	if s.deadlineExpired(w, r) {
+		return
+	}
+	agg := s.svc.Aggregate()
+	acc, ok := agg.Get(pc)
+	if !ok {
+		s.writeErr(w, http.StatusNotFound, "unknown-pc", fmt.Sprintf("pc %#x has no samples", pc))
+		return
+	}
+	resp := map[string]any{
+		"pc":        fmt.Sprintf("%#x", pc),
+		"samples":   acc.Samples,
+		"est_count": agg.EstimatedCount(pc),
+	}
+	if evName := r.URL.Query().Get("event"); evName != "" {
+		ev, ok := eventByName[evName]
+		if !ok {
+			s.writeErr(w, http.StatusBadRequest, "param", fmt.Sprintf("unknown event %q", evName))
+			return
+		}
+		resp["event"] = evName
+		resp["est_event_count"] = agg.EstimatedEventCount(pc, ev)
+		resp["event_rate"] = profile.RateEstimate(acc.EventCount(ev), acc.Samples)
+	} else {
+		events := make(map[string]float64)
+		for name, ev := range eventByName {
+			if c := acc.EventCount(ev); c > 0 {
+				events[name] = agg.EstimatedEventCount(pc, ev)
+			}
+		}
+		resp["est_event_counts"] = events
+	}
+	lats := make(map[string]float64)
+	for i := 0; i < profile.NumLatencyKinds; i++ {
+		if acc.LatCount[i] > 0 {
+			lats[profile.LatencyKindName(i)] = acc.MeanLatency(i)
+		}
+	}
+	resp["mean_latencies"] = lats
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	n := intParam(r, "n", 15)
+	if n < 1 || n > 1000 {
+		s.writeErr(w, http.StatusBadRequest, "param", "n must be in [1,1000]")
+		return
+	}
+	if s.deadlineExpired(w, r) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, s.svc.Aggregate().Report(nil, n))
+}
+
+// serverStats augments the ingest stats with HTTP-layer counters.
+type serverStats struct {
+	ingest.Stats
+	Submissions uint64 `json:"submissions"`
+	Queries     uint64 `json:"queries"`
+	QueriesShed uint64 `json:"queries_shed"`
+	InFlight    int64  `json:"queries_in_flight"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, serverStats{
+		Stats:       s.svc.Stats(),
+		Submissions: s.submits.Load(),
+		Queries:     s.queriesTotal.Load(),
+		QueriesShed: s.queriesShed.Load(),
+		InFlight:    s.inFlight.Load(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// handleReadyz flips to 503 the moment a drain begins or the persistence
+// breaker opens — load balancers stop routing new work while in-flight
+// requests finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.svc.Draining():
+		s.writeErr(w, http.StatusServiceUnavailable, "draining", "shutting down: submissions refused, queue flushing")
+	case s.svc.Breaker().State() == ingest.BreakerOpen:
+		s.writeErr(w, http.StatusServiceUnavailable, "breaker-open", "checkpoint persistence suspended")
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "queue_depth": s.svc.QueueDepth()})
+	}
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log == nil {
+		return
+	}
+	fmt.Fprintf(s.cfg.Log, "server: "+format+"\n", args...)
+}

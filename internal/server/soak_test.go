@@ -1,0 +1,265 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"profileme/internal/core"
+	"profileme/internal/cpu"
+	"profileme/internal/ingest"
+	"profileme/internal/profile"
+	"profileme/internal/sim"
+	"profileme/internal/workload"
+)
+
+// The overload soak is the acceptance test for the service's degradation
+// contract, the paper's §6 argument lifted to a distributed collector:
+// flooding ingest beyond queue capacity may lose shards, but every loss
+// is accounted (conservation is EXACT, not approximate), the
+// loss-corrected hot-PC ranking survives, and a drain in the middle of
+// the flood still ends in a CRC-valid checkpoint.
+
+const (
+	soakShards   = 20
+	soakScale    = 60_000
+	soakInterval = 16
+)
+
+// soakShardDB runs one real simulated shard — same wiring as the fleet's
+// simulate() — with a shard-specific sampling seed.
+func soakShardDB(t *testing.T, seed uint64) *profile.DB {
+	t.Helper()
+	b, ok := workload.ByName("compress")
+	if !ok {
+		t.Fatal("no compress benchmark")
+	}
+	prog := b.Build(soakScale)
+	ccfg := cpu.DefaultConfig()
+	unit, err := core.NewUnit(core.Config{
+		MeanInterval: soakInterval,
+		BufferDepth:  8,
+		CountMode:    core.CountInstructions,
+		IntervalMode: core.IntervalGeometric,
+		Seed:         seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := profile.NewDB(soakInterval, 0, ccfg.SustainedIssueWidth)
+	pipe, err := cpu.New(prog, sim.NewMachineSource(sim.New(prog), 0), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.AttachProfileMe(unit, db.Handler())
+	if _, err := pipe.Run(0); err != nil {
+		t.Fatalf("shard sim (seed %d): %v", seed, err)
+	}
+	st := unit.Stats()
+	db.RecordLoss(st.SamplesDropped + st.SamplesOverwritten)
+	return db
+}
+
+func topPCs(db *profile.SafeDB, n int) []uint64 {
+	var pcs []uint64
+	for _, a := range db.HotPCs(n) {
+		pcs = append(pcs, a.PC)
+	}
+	return pcs
+}
+
+func overlap(a, b []uint64) int {
+	set := make(map[uint64]bool, len(a))
+	for _, pc := range a {
+		set[pc] = true
+	}
+	n := 0
+	for _, pc := range b {
+		if set[pc] {
+			n++
+		}
+	}
+	return n
+}
+
+func TestOverloadSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: real shard simulations")
+	}
+
+	// Real shards, differing only by sampling seed — the independent
+	// sampled runs the paper's aggregation argument assumes.
+	shards := make([]*profile.DB, soakShards)
+	for i := range shards {
+		shards[i] = soakShardDB(t, uint64(i)+1)
+	}
+
+	// Unloaded baseline: every shard merged, nothing lost to overload.
+	baseline := profile.NewDB(soakInterval, 0, cpu.DefaultConfig().SustainedIssueWidth)
+	for i, sh := range shards {
+		if err := baseline.Merge(sh); err != nil {
+			t.Fatalf("baseline merge %d: %v", i, err)
+		}
+	}
+	baselineTop := topPCs(profile.NewSafeDB(baseline), 10)
+	if len(baselineTop) < 10 {
+		t.Fatalf("baseline has only %d hot PCs", len(baselineTop))
+	}
+
+	ckptPath := filepath.Join(t.TempDir(), "agg.db")
+	svc, err := ingest.NewService(ingest.Config{
+		QueueDepth:     4, // wave 1 floods at 4x this
+		Interval:       soakInterval,
+		Width:          cpu.DefaultConfig().SustainedIssueWidth,
+		CheckpointPath: ckptPath,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(Config{}, svc).Handler())
+	defer ts.Close()
+
+	var mu sync.Mutex
+	var capturedAll, capturedRefused uint64
+	var accepted, refused int
+	submit := func(i int) {
+		body, err := ingest.EncodeSubmit(fmt.Sprintf("compress/s%03d", i), shards[i])
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp, err := http.Post(ts.URL+"/v1/submit", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Errorf("submit %d: %v", i, err)
+			return
+		}
+		resp.Body.Close()
+		cap := shards[i].Samples() + shards[i].Lost()
+		mu.Lock()
+		defer mu.Unlock()
+		capturedAll += cap
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			refused++
+			capturedRefused += cap
+		default:
+			t.Errorf("submit %d: unexpected status %d", i, resp.StatusCode)
+		}
+	}
+
+	// Wave 1: 16 concurrent submissions against a 4-deep queue with the
+	// aggregator deliberately held — a 4x flood with a deterministic
+	// outcome: exactly queue-capacity accepted, the rest 429'd.
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); submit(i) }(i)
+	}
+	// The daemon must keep answering queries mid-flood.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 5; j++ {
+			resp, err := http.Get(ts.URL + "/v1/stats")
+			if err != nil {
+				t.Errorf("stats mid-flood: %v", err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("stats mid-flood: status %d", resp.StatusCode)
+			}
+		}
+	}()
+	wg.Wait()
+	if accepted != 4 || refused != 12 {
+		t.Fatalf("wave 1: accepted %d refused %d, want 4/12", accepted, refused)
+	}
+
+	// Wave 2: drain begins while submissions are still arriving — the
+	// daemon's SIGTERM sequence (stop admitting, let HTTP settle, flush,
+	// final checkpoint). Each late shard is either admitted (and then
+	// flushed by the drain) or refused-with-accounting; no third outcome
+	// exists.
+	svc.Start()
+	for i := 16; i < soakShards; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); submit(i) }(i)
+	}
+	time.Sleep(time.Millisecond)
+	svc.BeginDrain()
+	wg.Wait() // in-flight HTTP settles (httpSrv.Shutdown in the daemon)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatalf("drain mid-flood: %v", err)
+	}
+
+	// Conservation must be exact: every captured sample of every
+	// submission is either in the aggregate or in its loss ledger.
+	agg := svc.Aggregate()
+	if got := agg.Samples() + agg.Lost(); got != capturedAll {
+		t.Fatalf("conservation violated: aggregate %d + lost = %d, submissions captured %d",
+			agg.Samples(), got, capturedAll)
+	}
+	st := svc.Stats()
+	if st.MergeFailed != 0 {
+		t.Fatalf("%d accepted submissions failed to merge", st.MergeFailed)
+	}
+	if int(st.OverloadRejected+st.OverloadDropped) != refused {
+		t.Fatalf("refusal ledger %d+%d, HTTP refusals %d",
+			st.OverloadRejected, st.OverloadDropped, refused)
+	}
+	if int(st.Merged) != accepted {
+		t.Fatalf("merged %d, accepted %d", st.Merged, accepted)
+	}
+	if st.SamplesLost != capturedRefused {
+		t.Fatalf("samples_lost %d, refused submissions captured %d", st.SamplesLost, capturedRefused)
+	}
+	if agg.Lost() < capturedRefused {
+		t.Fatalf("aggregate lost %d below refused captured %d", agg.Lost(), capturedRefused)
+	}
+
+	// The ranking survives losing most of the fleet to overload: the
+	// degraded aggregate's top 10 matches the unloaded baseline's (same
+	// bar as the PR 1 chaos soak).
+	if got := overlap(baselineTop, topPCs(agg, 10)); got < 8 {
+		t.Fatalf("top-10 overlap %d/10 after overload, want >= 8", got)
+	}
+
+	// The mid-flood drain ended in a CRC-valid checkpoint carrying the
+	// full accounting.
+	loaded, err := profile.LoadFile(ckptPath)
+	if err != nil {
+		t.Fatalf("final checkpoint: %v", err)
+	}
+	if loaded.Samples() != agg.Samples() || loaded.Lost() != agg.Lost() {
+		t.Fatalf("checkpoint totals %d/%d, aggregate %d/%d",
+			loaded.Samples(), loaded.Lost(), agg.Samples(), agg.Lost())
+	}
+
+	// And the loss-corrected estimator still centres: total estimated
+	// retires from the degraded aggregate match the baseline's within the
+	// usual sampling tolerance.
+	var estDegraded, estBaseline float64
+	for _, pc := range baselineTop {
+		estDegraded += agg.EstimatedEventCount(pc, core.EvRetired)
+		estBaseline += baseline.EstimatedEventCount(pc, core.EvRetired)
+	}
+	if rel := (estDegraded - estBaseline) / estBaseline; rel < -0.15 || rel > 0.15 {
+		t.Fatalf("hot-set retire estimate drifted %.1f%% under overload", 100*rel)
+	}
+
+	// The soak's denominator proves the flood was a flood.
+	if refused*1 < accepted*3 {
+		t.Fatalf("flood too gentle: %d refused vs %d accepted", refused, accepted)
+	}
+}
