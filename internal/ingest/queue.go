@@ -7,12 +7,19 @@
 // The design carries the paper's degradation contract across the network
 // boundary: like ProfileMe's saturating counters and accounted
 // interrupt-drop losses, overload here never corrupts the statistics —
-// a submission either merges into the aggregate or its captured sample
-// count is recorded as loss (DB.RecordLoss), so the estimators stay
-// centred no matter how hard the ingest path is hammered. The
-// conservation invariant the soak tests pin down:
+// a submitted shard either merges into the aggregate or its captured
+// sample count is recorded as loss (DB.RecordLoss), so the estimators
+// stay centred no matter how hard the ingest path is hammered. Because
+// clients retry (429/503 are transient in the sink taxonomy, and a lost
+// 202 response makes a merged shard look undelivered), the service keeps
+// a per-shard admission ledger: a resubmission of an admitted shard is
+// acknowledged without re-merging, a repeat refusal accounts nothing
+// new, and a refused shard that is later accepted has its recorded loss
+// reversed (DB.ReverseLoss). The conservation invariant the soak tests
+// pin down therefore ranges over distinct shards, however many times
+// each was submitted:
 //
-//	Σ captured(submitted shards) == aggregate.Samples() + aggregate.Lost()
+//	Σ captured(distinct submitted shards) == aggregate.Samples() + aggregate.Lost()
 package ingest
 
 import (
@@ -108,21 +115,36 @@ func NewQueue(capacity int, policy Policy) (*Queue, error) {
 	return q, nil
 }
 
-// Offer tries to enqueue s. accepted reports whether s was admitted;
-// dropped holds any older submission evicted to make room (DropOldest
-// only). The caller owns accounting for both refusals and evictions —
-// Queue counts them but does not know about the aggregate.
-func (q *Queue) Offer(s Submission) (dropped []Submission, accepted bool) {
+// OfferResult says how Offer disposed of a submission. Full and Closed
+// are distinct on purpose: full means "retry soon" (429), closed means
+// "this instance is draining, go elsewhere" (503) — collapsing them
+// would send retry-soon advice from a server that is shutting down.
+type OfferResult int
+
+const (
+	// OfferAccepted: the submission was enqueued.
+	OfferAccepted OfferResult = iota
+	// OfferFull: refused, queue at capacity under RejectNew.
+	OfferFull
+	// OfferClosed: refused, the queue is closed (drain in progress).
+	OfferClosed
+)
+
+// Offer tries to enqueue s. res says whether s was admitted and, if
+// not, why; dropped holds any older submission evicted to make room
+// (DropOldest only). The caller owns accounting for both refusals and
+// evictions — Queue counts them but does not know about the aggregate.
+func (q *Queue) Offer(s Submission) (dropped []Submission, res OfferResult) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		q.stats.Rejected++
-		return nil, false
+		return nil, OfferClosed
 	}
 	if q.count == len(q.buf) {
 		if q.policy == RejectNew {
 			q.stats.Rejected++
-			return nil, false
+			return nil, OfferFull
 		}
 		// DropOldest: evict the head.
 		old := q.buf[q.head]
@@ -139,7 +161,7 @@ func (q *Queue) Offer(s Submission) (dropped []Submission, accepted bool) {
 		q.stats.HighWater = q.count
 	}
 	q.cond.Signal()
-	return dropped, true
+	return dropped, OfferAccepted
 }
 
 // Wait blocks until a submission is available and returns it; ok is

@@ -38,12 +38,14 @@ func TestQueueRejectNew(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2; i++ {
-		if dropped, ok := q.Offer(sub("a", uint64(i), 5)); !ok || len(dropped) != 0 {
-			t.Fatalf("offer %d: ok=%v dropped=%d", i, ok, len(dropped))
+		if dropped, res := q.Offer(sub("a", uint64(i), 5)); res != OfferAccepted || len(dropped) != 0 {
+			t.Fatalf("offer %d: res=%v dropped=%d", i, res, len(dropped))
 		}
 	}
-	if _, ok := q.Offer(sub("overflow", 9, 5)); ok {
-		t.Fatal("full RejectNew queue accepted a submission")
+	// Full and closed must be distinguishable: full means retry-soon
+	// (429), closed means draining (503).
+	if _, res := q.Offer(sub("overflow", 9, 5)); res != OfferFull {
+		t.Fatalf("full RejectNew queue: res=%v, want OfferFull", res)
 	}
 	st := q.Stats()
 	if st.Accepted != 2 || st.Rejected != 1 || st.Dropped != 0 || st.Depth != 2 || st.HighWater != 2 {
@@ -58,9 +60,9 @@ func TestQueueDropOldest(t *testing.T) {
 	}
 	q.Offer(Submission{Shard: "first", DB: testShard(1, 5)})
 	q.Offer(Submission{Shard: "second", DB: testShard(2, 5)})
-	dropped, ok := q.Offer(Submission{Shard: "third", DB: testShard(3, 5)})
-	if !ok || len(dropped) != 1 || dropped[0].Shard != "first" {
-		t.Fatalf("drop-oldest: ok=%v dropped=%v", ok, dropped)
+	dropped, res := q.Offer(Submission{Shard: "third", DB: testShard(3, 5)})
+	if res != OfferAccepted || len(dropped) != 1 || dropped[0].Shard != "first" {
+		t.Fatalf("drop-oldest: res=%v dropped=%v", res, dropped)
 	}
 	// FIFO order of the survivors.
 	if s, ok := q.Wait(); !ok || s.Shard != "second" {
@@ -80,8 +82,8 @@ func TestQueueCloseDrainsBacklog(t *testing.T) {
 	q.Offer(sub("a", 1, 3))
 	q.Offer(sub("b", 2, 3))
 	q.Close()
-	if _, ok := q.Offer(sub("late", 3, 3)); ok {
-		t.Fatal("closed queue accepted a submission")
+	if _, res := q.Offer(sub("late", 3, 3)); res != OfferClosed {
+		t.Fatalf("closed queue: res=%v, want OfferClosed", res)
 	}
 	var got []string
 	for {
@@ -123,7 +125,7 @@ func TestQueueConcurrentOfferWait(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perProducer; i++ {
 				name := string(rune('A'+p)) + "-" + string(rune('0'+i%10)) + string(rune('a'+(i/10)%26)) + string(rune('a'+i/260))
-				if _, ok := q.Offer(Submission{Shard: name, DB: testShard(uint64(i), 1)}); ok {
+				if _, res := q.Offer(Submission{Shard: name, DB: testShard(uint64(i), 1)}); res == OfferAccepted {
 					accepted.Store(name, true)
 				}
 			}

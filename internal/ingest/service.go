@@ -24,6 +24,11 @@ var (
 	// ErrConfigMismatch: the shard's sampling configuration cannot merge
 	// into this aggregate. Permanent — retrying cannot help (HTTP 409).
 	ErrConfigMismatch = errors.New("ingest: shard sampling configuration does not match aggregate")
+	// ErrDuplicate: a shard with this id is already queued or merged.
+	// The submission is acknowledged without re-merging (HTTP 202 with a
+	// duplicate marker), so a client retrying after a lost response
+	// cannot double-count its samples.
+	ErrDuplicate = errors.New("ingest: duplicate shard submission")
 )
 
 // Config parameterizes a Service. Zero values get usable defaults.
@@ -100,9 +105,18 @@ type Stats struct {
 	Merged      uint64 `json:"merged"`       // submissions folded into the aggregate
 	MergeFailed uint64 `json:"merge_failed"` // accepted but unmergeable (accounted as loss)
 
-	OverloadRejected uint64 `json:"overload_rejected"` // refused at admission (429/503)
-	OverloadDropped  uint64 `json:"overload_dropped"`  // evicted by DropOldest
-	SamplesLost      uint64 `json:"samples_lost"`      // captured samples lost to overload/drain
+	OverloadRejected uint64 `json:"overload_rejected"`     // refusal responses (429/503), retries included
+	OverloadDropped  uint64 `json:"overload_dropped"`      // evicted by DropOldest
+	Duplicates       uint64 `json:"duplicate_submissions"` // resubmissions of admitted shards (deduped)
+
+	// SamplesLost mirrors the aggregate's overload/drain loss ledger: it
+	// counts each refused shard's captured samples once, no matter how
+	// many times the shard was refused, and goes back DOWN when a refused
+	// shard is later accepted on retry (the loss is reversed).
+	SamplesLost uint64 `json:"samples_lost"`
+	// LossReversed totals the reversals, so SamplesLost + LossReversed is
+	// the high-water mark of loss ever recorded.
+	LossReversed uint64 `json:"samples_loss_reversed"`
 
 	Checkpoints        uint64 `json:"checkpoints"`
 	CheckpointFailures uint64 `json:"checkpoint_failures"`
@@ -139,11 +153,25 @@ type Service struct {
 	mergeFail uint64
 	rejected  uint64
 	dropped   uint64
+	dupes     uint64
 	lostSamp  uint64
+	lostRev   uint64
 	ckptOK    uint64
 	ckptFail  uint64
 	ckptShort uint64
 	sinceCkpt int
+
+	// Shard admission ledger (guarded by mu). admitted holds shard ids
+	// that are queued or merged — a resubmission dedupes to ErrDuplicate
+	// instead of merging twice (a lost 202 makes honest clients retry
+	// delivered shards). refusedLoss maps shard ids whose captured
+	// samples sit in the aggregate's loss ledger (429/503 refusals,
+	// DropOldest evictions) to the exact count recorded, so a repeat
+	// refusal accounts nothing new and an accepted retry reverses
+	// precisely what was recorded. Memory grows with distinct shard ids,
+	// which a campaign bounds by benchmarks × shards.
+	admitted    map[string]bool
+	refusedLoss map[string]uint64
 }
 
 // NewService builds a service. seed, when non-nil, becomes the aggregate
@@ -161,11 +189,13 @@ func NewService(cfg Config, seed *profile.DB) (*Service, error) {
 		seed = profile.NewDB(cfg.Interval, cfg.Window, cfg.Width)
 	}
 	s := &Service{
-		cfg:  cfg,
-		agg:  profile.NewSafeDB(seed),
-		q:    q,
-		brk:  NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
-		done: make(chan struct{}),
+		cfg:         cfg,
+		agg:         profile.NewSafeDB(seed),
+		q:           q,
+		brk:         NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		done:        make(chan struct{}),
+		admitted:    make(map[string]bool),
+		refusedLoss: make(map[string]uint64),
 	}
 	s.wantS, s.wantW, s.wantC, s.wantTNear = s.agg.SamplingConfig()
 	if s.cfg.persist == nil {
@@ -200,24 +230,67 @@ func (s *Service) Start() {
 // Submit admits one decoded submission into the queue. On refusal the
 // shard's captured samples are recorded as aggregate loss — overload
 // degrades the estimates' precision, never their centring — and a typed
-// error says why. A config-mismatched shard is refused WITHOUT loss
-// accounting: its samples were never part of this aggregate's population.
+// error says why. The admission ledger keeps the accounting exact under
+// the client's retry taxonomy (429/503 are transient, transport
+// failures retried):
+//
+//   - a shard already queued or merged dedupes to ErrDuplicate, never
+//     merging or accounting twice, even mid-drain;
+//   - a shard refused more than once is loss-accounted exactly once;
+//   - a previously refused shard that is now accepted has its recorded
+//     loss reversed before it merges.
+//
+// A config-mismatched shard is refused WITHOUT loss accounting —
+// checked before everything else, draining included: its samples were
+// never part of this aggregate's population.
 func (s *Service) Submit(sub Submission) error {
-	if s.draining.Load() {
-		s.accountLoss(sub, &s.rejected)
-		return ErrDraining
-	}
 	if err := s.compatible(sub.DB); err != nil {
 		return err
 	}
-	dropped, ok := s.q.Offer(sub)
+	// Reserve the shard id before touching the queue so two racing
+	// submissions of the same shard cannot both merge; the reservation is
+	// released again on refusal.
+	s.mu.Lock()
+	if s.admitted[sub.Shard] {
+		s.dupes++
+		s.mu.Unlock()
+		return ErrDuplicate
+	}
+	s.admitted[sub.Shard] = true
+	s.mu.Unlock()
+	if s.draining.Load() {
+		s.refuse(sub, &s.rejected)
+		return ErrDraining
+	}
+	dropped, res := s.q.Offer(sub)
 	for _, d := range dropped {
-		s.accountLoss(d, &s.dropped)
+		s.refuse(d, &s.dropped)
 		s.logf("overflow: dropped oldest shard %s (%d captured samples accounted as loss)", d.Shard, d.Captured())
 	}
-	if !ok {
-		s.accountLoss(sub, &s.rejected)
+	switch res {
+	case OfferClosed:
+		// BeginDrain raced with this Submit: same contract as draining —
+		// 503, not 429, so the client goes elsewhere instead of retrying
+		// a shutting-down instance.
+		s.refuse(sub, &s.rejected)
+		return ErrDraining
+	case OfferFull:
+		s.refuse(sub, &s.rejected)
 		return ErrQueueFull
+	}
+	// Accepted: if an earlier refusal of this shard was accounted as
+	// loss, the samples are back in the pipeline — reverse the ledger.
+	s.mu.Lock()
+	reversed, wasRefused := s.refusedLoss[sub.Shard]
+	if wasRefused {
+		delete(s.refusedLoss, sub.Shard)
+		s.lostSamp -= reversed
+		s.lostRev += reversed
+	}
+	s.mu.Unlock()
+	if wasRefused {
+		s.agg.ReverseLoss(reversed)
+		s.logf("shard %s accepted on retry: %d previously accounted samples reversed out of the loss ledger", sub.Shard, reversed)
 	}
 	return nil
 }
@@ -232,13 +305,35 @@ func (s *Service) compatible(db *profile.DB) error {
 	return nil
 }
 
-// accountLoss records a never-merged submission's captured samples as
-// aggregate loss and bumps the given refusal counter.
-func (s *Service) accountLoss(sub Submission, counter *uint64) {
+// refuse backs a shard out of admission (refused at the door or evicted
+// by DropOldest): the reservation is released, the refusal counter
+// bumped, and — only the first time this shard id is refused — its
+// captured samples recorded as aggregate loss under its ledger entry.
+func (s *Service) refuse(sub Submission, counter *uint64) {
+	n := sub.Captured()
+	s.mu.Lock()
+	delete(s.admitted, sub.Shard)
+	*counter++
+	_, seen := s.refusedLoss[sub.Shard]
+	if !seen {
+		s.refusedLoss[sub.Shard] = n
+		s.lostSamp += n
+	}
+	s.mu.Unlock()
+	if !seen {
+		s.agg.RecordLoss(n)
+	}
+}
+
+// accountMergeLoss records an admitted-but-unmergeable submission's
+// captured samples as aggregate loss. The shard stays in the admitted
+// set — the failure is permanent (configuration skew), so a retry must
+// dedupe, not re-merge.
+func (s *Service) accountMergeLoss(sub Submission) {
 	n := sub.Captured()
 	s.agg.RecordLoss(n)
 	s.mu.Lock()
-	*counter++
+	s.mergeFail++
 	s.lostSamp += n
 	s.mu.Unlock()
 }
@@ -265,7 +360,7 @@ func (s *Service) merge(sub Submission) {
 	if err := s.agg.Merge(sub.DB); err != nil {
 		// Admission screens configurations, so this is rare (e.g. metric
 		// registration skew) — but it still must be accounted, not lost.
-		s.accountLoss(sub, &s.mergeFail)
+		s.accountMergeLoss(sub)
 		s.logf("merge failed for shard %s: %v (accounted as loss)", sub.Shard, err)
 		return
 	}
@@ -353,7 +448,9 @@ func (s *Service) Stats() Stats {
 		MergeFailed:        s.mergeFail,
 		OverloadRejected:   s.rejected,
 		OverloadDropped:    s.dropped,
+		Duplicates:         s.dupes,
 		SamplesLost:        s.lostSamp,
+		LossReversed:       s.lostRev,
 		Checkpoints:        s.ckptOK,
 		CheckpointFailures: s.ckptFail,
 		CheckpointShorted:  s.ckptShort,

@@ -3,6 +3,7 @@ package ingest
 import (
 	"context"
 	"errors"
+	"fmt"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -34,7 +35,7 @@ func TestServiceOverflowAccounting(t *testing.T) {
 	var wantMerged, wantLost uint64
 	var accepted, rejected int
 	for i := 0; i < n; i++ {
-		s := sub("s", uint64(i), 10+i)
+		s := sub(fmt.Sprintf("s%03d", i), uint64(i), 10+i)
 		err := svc.Submit(s)
 		switch {
 		case err == nil:
@@ -91,7 +92,7 @@ func TestServiceDropOldestAccounting(t *testing.T) {
 
 	var all []Submission
 	for i := 0; i < 5; i++ {
-		s := sub("s", uint64(i), 10)
+		s := sub(fmt.Sprintf("s%03d", i), uint64(i), 10)
 		all = append(all, s)
 		if err := svc.Submit(s); err != nil {
 			t.Fatalf("DropOldest submission %d refused: %v", i, err)
@@ -152,7 +153,7 @@ func TestServiceBreakerSuspendsCheckpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 6; i++ {
-		if err := svc.Submit(sub("s", uint64(i), 5)); err != nil {
+		if err := svc.Submit(sub(fmt.Sprintf("s%03d", i), uint64(i), 5)); err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 	}
@@ -202,7 +203,7 @@ func TestServiceDrainWaitsForBacklog(t *testing.T) {
 	}
 	var want uint64
 	for i := 0; i < 8; i++ {
-		s := sub("s", uint64(i), 7)
+		s := sub(fmt.Sprintf("s%03d", i), uint64(i), 7)
 		want += s.Captured()
 		if err := svc.Submit(s); err != nil {
 			t.Fatal(err)
@@ -226,5 +227,162 @@ func TestServiceDrainWaitsForBacklog(t *testing.T) {
 	}
 	if agg.Lost() != late.Captured() {
 		t.Fatalf("drain-refused shard not accounted: lost %d, want %d", agg.Lost(), late.Captured())
+	}
+}
+
+// TestServiceRetryAfterRefusalReversesLoss is the regression test for
+// the retry double-count: the sink taxonomy retries 429s, so a shard
+// refused (loss-accounted) and later accepted must end up counted
+// exactly once — the recorded loss is reversed when the retry merges,
+// and a repeat refusal of the same shard accounts nothing new.
+// Conservation ranges over distinct shards, not submission attempts.
+func TestServiceRetryAfterRefusalReversesLoss(t *testing.T) {
+	cfg := testServiceConfig(t.TempDir())
+	cfg.QueueDepth = 1
+	merged := make(chan Submission, 4)
+	cfg.mergeHook = func(s Submission) { merged <- s }
+	svc, err := NewService(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := sub("s001", 1, 10)
+	s2 := sub("s002", 2, 20)
+	if err := svc.Submit(s1); err != nil {
+		t.Fatal(err)
+	}
+	// First refusal: the depth-1 queue is full, loss accounted.
+	if err := svc.Submit(s2); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full queue: %v, want ErrQueueFull", err)
+	}
+	if got := svc.Aggregate().Lost(); got != s2.Captured() {
+		t.Fatalf("refusal not accounted: lost %d, want %d", got, s2.Captured())
+	}
+	// Second refusal of the same shard: a retry, not new loss.
+	if err := svc.Submit(s2); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("retry against full queue: %v, want ErrQueueFull", err)
+	}
+	if got := svc.Aggregate().Lost(); got != s2.Captured() {
+		t.Fatalf("repeat refusal double-counted: lost %d, want %d", got, s2.Captured())
+	}
+	if st := svc.Stats(); st.OverloadRejected != 2 || st.SamplesLost != s2.Captured() {
+		t.Fatalf("stats after two refusals: %+v", st)
+	}
+
+	// The aggregator empties the queue; the retry is now accepted and
+	// the earlier refusal loss reversed.
+	svc.Start()
+	<-merged // s1 merged, queue empty
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := svc.Submit(s2)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("retry: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("retry never accepted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	agg := svc.Aggregate()
+	want := s1.Captured() + s2.Captured()
+	if got := agg.Samples() + agg.Lost(); got != want {
+		t.Fatalf("conservation violated: samples %d + lost %d = %d, distinct shards captured %d",
+			agg.Samples(), agg.Lost(), got, want)
+	}
+	if agg.Lost() != 0 {
+		t.Fatalf("accepted retry left %d samples in the loss ledger", agg.Lost())
+	}
+	st := svc.Stats()
+	if st.SamplesLost != 0 || st.LossReversed != s2.Captured() || st.Merged != 2 {
+		t.Fatalf("post-retry stats: %+v", st)
+	}
+}
+
+// TestServiceDuplicateSubmission: resubmitting an admitted shard (what
+// a client does after a lost 202 response) dedupes instead of merging
+// twice — whether the original is still queued or already merged, and
+// even while the service is draining.
+func TestServiceDuplicateSubmission(t *testing.T) {
+	svc, err := NewService(testServiceConfig(t.TempDir()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := sub("s001", 1, 10)
+	if err := svc.Submit(s1); err != nil {
+		t.Fatal(err)
+	}
+	// Original still queued: the retry must not occupy a second slot.
+	if err := svc.Submit(sub("s001", 1, 10)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("queued duplicate: %v, want ErrDuplicate", err)
+	}
+	if got := svc.QueueDepth(); got != 1 {
+		t.Fatalf("duplicate enqueued: depth %d, want 1", got)
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Original merged and the service draining: still a duplicate ack,
+	// not a 503-with-loss — the data is already in the aggregate.
+	if err := svc.Submit(sub("s001", 1, 10)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("post-drain duplicate: %v, want ErrDuplicate", err)
+	}
+	agg := svc.Aggregate()
+	if agg.Samples() != s1.Captured() || agg.Lost() != 0 {
+		t.Fatalf("duplicates changed accounting: samples %d lost %d, want %d/0",
+			agg.Samples(), agg.Lost(), s1.Captured())
+	}
+	if st := svc.Stats(); st.Duplicates != 2 || st.Merged != 1 {
+		t.Fatalf("stats %+v, want 2 duplicates / 1 merged", st)
+	}
+}
+
+// TestServiceConfigMismatchDuringDrain: 409 outranks 503 — a shard from
+// a foreign population is never loss-accounted, draining or not.
+func TestServiceConfigMismatchDuringDrain(t *testing.T) {
+	svc, err := NewService(testServiceConfig(t.TempDir()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.BeginDrain()
+	bad := Submission{Shard: "skewed", DB: profile.NewDB(999, 0, 4)}
+	if err := svc.Submit(bad); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("mismatched shard during drain: %v, want ErrConfigMismatch", err)
+	}
+	if got := svc.Aggregate().Lost(); got != 0 {
+		t.Fatalf("foreign-population shard accounted as loss during drain (%d)", got)
+	}
+}
+
+// TestServiceClosedQueueRefusesAsDraining: a Submit that passes the
+// draining check before Drain closes the queue lands on a closed queue;
+// it must get drain semantics (ErrDraining → 503 go-elsewhere), not
+// ErrQueueFull's retry-soon — and the retry-then-503 sequence must not
+// account the shard's loss twice.
+func TestServiceClosedQueueRefusesAsDraining(t *testing.T) {
+	svc, err := NewService(testServiceConfig(t.TempDir()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.q.Close() // the race window: queue closed, draining flag not yet observed
+	s1 := sub("s001", 1, 10)
+	if err := svc.Submit(s1); !errors.Is(err, ErrDraining) {
+		t.Fatalf("closed queue: %v, want ErrDraining", err)
+	}
+	if got := svc.Aggregate().Lost(); got != s1.Captured() {
+		t.Fatalf("closed-queue refusal not accounted: lost %d, want %d", got, s1.Captured())
+	}
+	svc.BeginDrain()
+	if err := svc.Submit(s1); !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining retry: %v, want ErrDraining", err)
+	}
+	if got := svc.Aggregate().Lost(); got != s1.Captured() {
+		t.Fatalf("retry-then-503 double-counted: lost %d, want %d", got, s1.Captured())
 	}
 }

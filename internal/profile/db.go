@@ -180,6 +180,19 @@ func (db *DB) Pairs() uint64 { return db.pairs }
 // the resulting loss rate.
 func (db *DB) RecordLoss(n uint64) { db.lost += n }
 
+// ReverseLoss retracts n samples previously reported via RecordLoss.
+// The ingest service uses it when a shard that was refused at admission
+// (and therefore loss-accounted) is retried and accepted later: the
+// shard's captured samples move from the loss ledger into the delivered
+// counts, and counting them in both would inflate the loss-correction
+// factor. Reversing more than was recorded clamps at zero.
+func (db *DB) ReverseLoss(n uint64) {
+	if n > db.lost {
+		n = db.lost
+	}
+	db.lost -= n
+}
+
 // Lost returns the total samples known lost before aggregation: upstream
 // hardware losses plus corrupt samples Add rejected.
 func (db *DB) Lost() uint64 { return db.lost + db.corruptRejected }

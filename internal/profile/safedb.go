@@ -58,6 +58,14 @@ func (s *SafeDB) RecordLoss(n uint64) {
 	s.db.RecordLoss(n)
 }
 
+// ReverseLoss retracts n samples previously recorded as loss (write
+// lock) — see DB.ReverseLoss.
+func (s *SafeDB) ReverseLoss(n uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.db.ReverseLoss(n)
+}
+
 // Samples returns the number of delivered samples.
 func (s *SafeDB) Samples() uint64 {
 	s.mu.RLock()

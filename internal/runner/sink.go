@@ -28,6 +28,12 @@ type Sink interface {
 // backpressure, 5xx and transport failures are transient, and any other
 // 4xx (damaged payload, config mismatch) is permanent — retrying a 409
 // can only waste the collector's admission budget.
+//
+// Retrying refusals is safe on the accounting side: the collector keys
+// its loss ledger by shard id, so a shard refused-then-accepted has its
+// refusal loss reversed when it merges, and a resubmission after a lost
+// response (transport error with Status 0) dedupes server-side instead
+// of merging twice.
 type SubmitError struct {
 	// Status is the HTTP status; 0 means the request never completed
 	// (transport failure).

@@ -118,8 +118,11 @@ func (s *Server) writeErr(w http.ResponseWriter, status int, kind, msg string) {
 // deliberate: 413 oversized, 400 damaged envelope/payload, 409
 // unmergeable configuration, 429 queue full (backpressure), 503
 // draining. A 429/503 response means the shard's samples were recorded
-// as aggregate loss — the client may drop the shard without lying to the
-// estimators.
+// as aggregate loss — the client may drop the shard without lying to
+// the estimators, or retry: an accepted retry reverses the recorded
+// loss, so neither path double-counts. Submission is idempotent per
+// shard id — a resubmission of a queued/merged shard (a retry after a
+// lost response) gets 202 with "duplicate": true and is not re-merged.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeErr(w, http.StatusMethodNotAllowed, "method", "POST only")
@@ -161,6 +164,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusServiceUnavailable, "draining", err.Error())
 	case errors.Is(err, ingest.ErrConfigMismatch):
 		s.writeErr(w, http.StatusConflict, "config-mismatch", err.Error())
+	case errors.Is(err, ingest.ErrDuplicate):
+		// The shard is already in the pipeline; acknowledge so the client
+		// stops retrying, and say it was a duplicate for observability.
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"shard":       sub.Shard,
+			"duplicate":   true,
+			"queue_depth": s.svc.QueueDepth(),
+		})
 	case err != nil:
 		s.writeErr(w, http.StatusInternalServerError, "internal", err.Error())
 	default:

@@ -210,6 +210,35 @@ func TestSubmitTypedRejections(t *testing.T) {
 	}
 }
 
+// TestSubmitDuplicateIdempotent: resubmitting an accepted shard — what
+// an honest client does when the 202 response is lost and its transport
+// error classifies as transient — acknowledges without re-merging.
+func TestSubmitDuplicateIdempotent(t *testing.T) {
+	svc := testService(t, nil)
+	h := New(Config{}, svc).Handler()
+	db := testShard(1, 10)
+
+	status, body := postSubmit(t, h, "bench/s001", db)
+	if status != http.StatusAccepted {
+		t.Fatalf("first submit: %d %v", status, body)
+	}
+	status, body = postSubmit(t, h, "bench/s001", db)
+	if status != http.StatusAccepted {
+		t.Fatalf("resubmit: %d %v, want 202", status, body)
+	}
+	if dup, _ := body["duplicate"].(bool); !dup {
+		t.Fatalf("resubmit not flagged duplicate: %v", body)
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	agg := svc.Aggregate()
+	if agg.Samples() != db.Samples() || agg.Lost() != 0 {
+		t.Fatalf("duplicate double-merged: samples %d lost %d, want %d/0",
+			agg.Samples(), agg.Lost(), db.Samples())
+	}
+}
+
 func TestSubmitBackpressureAndDrain(t *testing.T) {
 	svc := testService(t, nil) // queue depth 4, aggregator not started
 	h := New(Config{}, svc).Handler()

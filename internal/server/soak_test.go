@@ -125,35 +125,39 @@ func TestOverloadSoak(t *testing.T) {
 	ts := httptest.NewServer(New(Config{}, svc).Handler())
 	defer ts.Close()
 
+	// Per-shard final outcome: the conservation invariant ranges over
+	// DISTINCT shards (clients retry, the service dedupes and reverses),
+	// while refusal responses are counted per attempt.
 	var mu sync.Mutex
-	var capturedAll, capturedRefused uint64
-	var accepted, refused int
-	submit := func(i int) {
+	shardAccepted := make([]bool, soakShards)
+	shardRefused := make([]bool, soakShards) // refused at least once
+	var refusedResponses int
+	submit := func(i int) int {
 		body, err := ingest.EncodeSubmit(fmt.Sprintf("compress/s%03d", i), shards[i])
 		if err != nil {
 			t.Error(err)
-			return
+			return 0
 		}
 		resp, err := http.Post(ts.URL+"/v1/submit", "application/json", bytes.NewReader(body))
 		if err != nil {
 			t.Errorf("submit %d: %v", i, err)
-			return
+			return 0
 		}
 		resp.Body.Close()
-		cap := shards[i].Samples() + shards[i].Lost()
 		mu.Lock()
 		defer mu.Unlock()
-		capturedAll += cap
 		switch resp.StatusCode {
 		case http.StatusAccepted:
-			accepted++
+			shardAccepted[i] = true
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
-			refused++
-			capturedRefused += cap
+			shardRefused[i] = true
+			refusedResponses++
 		default:
 			t.Errorf("submit %d: unexpected status %d", i, resp.StatusCode)
 		}
+		return resp.StatusCode
 	}
+	captured := func(i int) uint64 { return shards[i].Samples() + shards[i].Lost() }
 
 	// Wave 1: 16 concurrent submissions against a 4-deep queue with the
 	// aggregator deliberately held — a 4x flood with a deterministic
@@ -180,16 +184,61 @@ func TestOverloadSoak(t *testing.T) {
 		}
 	}()
 	wg.Wait()
-	if accepted != 4 || refused != 12 {
-		t.Fatalf("wave 1: accepted %d refused %d, want 4/12", accepted, refused)
+	wave1Accepted := 0
+	for i := 0; i < 16; i++ {
+		if shardAccepted[i] {
+			wave1Accepted++
+		}
+	}
+	if wave1Accepted != 4 || refusedResponses != 12 {
+		t.Fatalf("wave 1: accepted %d refused %d, want 4/12", wave1Accepted, refusedResponses)
+	}
+
+	// Retry phase: the aggregator starts draining the queue and every
+	// 429'd shard retries until accepted — the sink taxonomy's transient
+	// path. Each success must REVERSE the loss recorded at refusal, or
+	// the same samples end up counted as both merged and lost (the
+	// double-count the conservation check below would catch).
+	svc.Start()
+	for i := 0; i < 16; i++ {
+		if shardAccepted[i] {
+			continue
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for !shardAccepted[i] {
+			if status := submit(i); status == http.StatusAccepted {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("shard %d never accepted on retry", i)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Idempotency probe: resubmit an already-merged shard — the retry a
+	// client issues when a 202 response is lost in transit. It must be
+	// acknowledged as a duplicate, not merged a second time.
+	{
+		body, err := ingest.EncodeSubmit("compress/s000", shards[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/submit", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("duplicate resubmission: status %d, want 202", resp.StatusCode)
+		}
 	}
 
 	// Wave 2: drain begins while submissions are still arriving — the
 	// daemon's SIGTERM sequence (stop admitting, let HTTP settle, flush,
 	// final checkpoint). Each late shard is either admitted (and then
 	// flushed by the drain) or refused-with-accounting; no third outcome
-	// exists.
-	svc.Start()
+	// exists. These refusals are NOT retried: their loss stays.
 	for i := 16; i < soakShards; i++ {
 		wg.Add(1)
 		go func(i int) { defer wg.Done(); submit(i) }(i)
@@ -203,29 +252,54 @@ func TestOverloadSoak(t *testing.T) {
 		t.Fatalf("drain mid-flood: %v", err)
 	}
 
-	// Conservation must be exact: every captured sample of every
-	// submission is either in the aggregate or in its loss ledger.
+	// Tally final outcomes: every one of the 20 distinct shards was
+	// submitted at least once, so conservation ranges over all of them.
+	var capturedAll, capturedLost, reversedWant uint64
+	mergedShards := 0
+	for i := 0; i < soakShards; i++ {
+		capturedAll += captured(i)
+		switch {
+		case shardAccepted[i]:
+			mergedShards++
+			if shardRefused[i] {
+				// Refused then accepted on retry: its refusal loss must
+				// have been reversed.
+				reversedWant += captured(i)
+			}
+		default:
+			capturedLost += captured(i)
+		}
+	}
+
+	// Conservation must be exact over distinct shards: every captured
+	// sample is in the aggregate or in its loss ledger, never both —
+	// retried-to-success shards count once (loss reversed), duplicates
+	// count once (deduped).
 	agg := svc.Aggregate()
 	if got := agg.Samples() + agg.Lost(); got != capturedAll {
-		t.Fatalf("conservation violated: aggregate %d + lost = %d, submissions captured %d",
+		t.Fatalf("conservation violated: aggregate %d + lost = %d, distinct shards captured %d",
 			agg.Samples(), got, capturedAll)
 	}
 	st := svc.Stats()
 	if st.MergeFailed != 0 {
 		t.Fatalf("%d accepted submissions failed to merge", st.MergeFailed)
 	}
-	if int(st.OverloadRejected+st.OverloadDropped) != refused {
+	if int(st.OverloadRejected+st.OverloadDropped) != refusedResponses {
 		t.Fatalf("refusal ledger %d+%d, HTTP refusals %d",
-			st.OverloadRejected, st.OverloadDropped, refused)
+			st.OverloadRejected, st.OverloadDropped, refusedResponses)
 	}
-	if int(st.Merged) != accepted {
-		t.Fatalf("merged %d, accepted %d", st.Merged, accepted)
+	if int(st.Merged) != mergedShards {
+		t.Fatalf("merged %d, accepted shards %d", st.Merged, mergedShards)
 	}
-	if st.SamplesLost != capturedRefused {
-		t.Fatalf("samples_lost %d, refused submissions captured %d", st.SamplesLost, capturedRefused)
+	if st.SamplesLost != capturedLost || agg.Lost() != capturedLost {
+		t.Fatalf("loss ledger %d (stats %d), finally-refused shards captured %d",
+			agg.Lost(), st.SamplesLost, capturedLost)
 	}
-	if agg.Lost() < capturedRefused {
-		t.Fatalf("aggregate lost %d below refused captured %d", agg.Lost(), capturedRefused)
+	if st.LossReversed != reversedWant {
+		t.Fatalf("loss reversed %d, retried-to-success shards captured %d", st.LossReversed, reversedWant)
+	}
+	if st.Duplicates < 1 {
+		t.Fatal("duplicate resubmission was not deduped")
 	}
 
 	// The ranking survives losing most of the fleet to overload: the
@@ -258,8 +332,10 @@ func TestOverloadSoak(t *testing.T) {
 		t.Fatalf("hot-set retire estimate drifted %.1f%% under overload", 100*rel)
 	}
 
-	// The soak's denominator proves the flood was a flood.
-	if refused*1 < accepted*3 {
-		t.Fatalf("flood too gentle: %d refused vs %d accepted", refused, accepted)
+	// The soak's denominator proves the flood was a flood: wave 1 alone
+	// must have produced 3 refusals for every admitted shard.
+	if refusedResponses < 3*wave1Accepted {
+		t.Fatalf("flood too gentle: %d refusal responses vs %d wave-1 acceptances",
+			refusedResponses, wave1Accepted)
 	}
 }
