@@ -526,6 +526,19 @@ func (u *Unit) Drain() []Sample {
 	return out
 }
 
+// Recycle hands a slice previously returned by Drain back to the unit so
+// its backing storage carries the next buffer fill, making the steady
+// drain/refill cycle allocation-free. Only call it once the samples have
+// been fully consumed: after Recycle the slice's contents will be
+// overwritten by future captures. Callers that retain samples must copy
+// the Sample values out first (per-sample Rest/RestDistances backings are
+// freshly allocated each capture and are never reused).
+func (u *Unit) Recycle(buf []Sample) {
+	if u.buffer == nil && cap(buf) > 0 {
+		u.buffer = buf[:0]
+	}
+}
+
 // Pending returns how many samples are buffered (for tests and yield
 // accounting) without draining them.
 func (u *Unit) Pending() int { return len(u.buffer) }

@@ -55,6 +55,42 @@ func TestRunContextDeadlinePartialResult(t *testing.T) {
 	}
 }
 
+// TestRunContextCancellationLatency bounds how long a run keeps simulating
+// after its context is canceled. The batched cycle driver polls the
+// context every ctxCheckCycles cycles, so a cancellation arriving mid-run
+// must stop the pipeline within two batches — ≤2048 cycles — no matter
+// where in a batch it lands. The cancel fires synchronously from the
+// retire hook, so the trigger cycle is exact.
+func TestRunContextCancellationLatency(t *testing.T) {
+	prog := workload.Compress(400000)
+	pipe, err := New(prog, sim.NewMachineSource(sim.New(prog), 0), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancelCycle := int64(-1)
+	var retired uint64
+	pipe.SetRetireHook(func(seq, pc uint64) {
+		retired++
+		if retired == 10_000 && cancelCycle < 0 {
+			cancelCycle = pipe.Cycle()
+			cancel()
+		}
+	})
+	res, err := pipe.RunContext(ctx, 0)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("error not typed as ErrCanceled: %v", err)
+	}
+	if cancelCycle < 0 {
+		t.Fatal("cancel never triggered")
+	}
+	if latency := res.Cycles - cancelCycle; latency < 0 || latency > 2048 {
+		t.Fatalf("cancellation latency %d cycles (canceled at %d, stopped at %d), want ≤2048",
+			latency, cancelCycle, res.Cycles)
+	}
+}
+
 // TestRunContextBackgroundMatchesRun checks RunContext with a background
 // context is exactly Run: same result on the same program and seeds.
 func TestRunContextBackgroundMatchesRun(t *testing.T) {

@@ -1,0 +1,127 @@
+package cpu
+
+import "sort"
+
+// This file holds the allocation-free machinery behind the per-cycle hot
+// path: a ring-buffer event scheduler (replacing map[int64][]*uop for
+// completion and load-value wakeup events), an allocation-free seq sort
+// (replacing sort.Slice and its reflect-based swapper), and a chunked uop
+// arena (replacing one heap object per fetched instruction). None of these
+// change simulated behavior — the differential golden suite in
+// internal/difftest pins that.
+
+// eventRing schedules uops for future cycles. Nearly every event lands
+// within a bounded horizon — functional-unit latencies and worst-case
+// memory round trips are small config-derived constants — so the common
+// case is an array slot indexed by cycle&mask whose backing storage is
+// recycled forever. Events beyond the horizon (exotic configs) spill into
+// a map that is only consulted when non-empty.
+type eventRing struct {
+	slots [][]*uop
+	mask  int64
+	far   map[int64][]*uop
+}
+
+// newEventRing sizes the ring to cover at least span cycles of lookahead
+// (rounded up to a power of two, minimum 64).
+func newEventRing(span int) *eventRing {
+	size := int64(64)
+	for size < int64(span)+2 {
+		size <<= 1
+	}
+	return &eventRing{slots: make([][]*uop, size), mask: size - 1}
+}
+
+// add schedules u for cycle cyc (now is the current cycle; cyc must be
+// >= now, which holds for all pipeline events — latencies are positive).
+func (r *eventRing) add(now, cyc int64, u *uop) {
+	if cyc-now >= int64(len(r.slots)) {
+		if r.far == nil {
+			r.far = make(map[int64][]*uop)
+		}
+		r.far[cyc] = append(r.far[cyc], u)
+		return
+	}
+	i := cyc & r.mask
+	r.slots[i] = append(r.slots[i], u)
+}
+
+// take returns the uops scheduled for cyc, in insertion order, and clears
+// the slot while keeping its capacity. The returned slice is valid until
+// the slot's cycle comes around again (ring-size cycles later) — callers
+// consume it within the same simulated cycle.
+func (r *eventRing) take(cyc int64) []*uop {
+	i := cyc & r.mask
+	s := r.slots[i]
+	r.slots[i] = s[:0]
+	if len(r.far) > 0 {
+		if f, ok := r.far[cyc]; ok {
+			delete(r.far, cyc)
+			s = append(s, f...)
+		}
+	}
+	return s
+}
+
+// drainAscending visits every still-pending event in ascending cycle
+// order, emptying the ring. Pending events all lie at cycles >= from
+// because take(c) ran for every cycle before from. Used by finish() to
+// flush deferred load-completion signals deterministically.
+func (r *eventRing) drainAscending(from int64, visit func(cyc int64, u *uop)) {
+	for off := int64(0); off < int64(len(r.slots)); off++ {
+		cyc := from + off
+		i := cyc & r.mask
+		for _, u := range r.slots[i] {
+			visit(cyc, u)
+		}
+		r.slots[i] = r.slots[i][:0]
+	}
+	if len(r.far) > 0 {
+		cycles := make([]int64, 0, len(r.far))
+		for c := range r.far {
+			cycles = append(cycles, c)
+		}
+		sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
+		for _, c := range cycles {
+			for _, u := range r.far[c] {
+				visit(c, u)
+			}
+		}
+		r.far = nil
+	}
+}
+
+// sortBySeq orders uops by fetch sequence with a plain insertion sort:
+// per-cycle completion groups are issue-width-sized, where this beats
+// sort.Slice and allocates nothing (sort.Slice's reflect-based swapper was
+// 8% of the simulator's allocations).
+func sortBySeq(cs []*uop) {
+	for i := 1; i < len(cs); i++ {
+		u := cs[i]
+		j := i - 1
+		for j >= 0 && cs[j].seq > u.seq {
+			cs[j+1] = cs[j]
+			j--
+		}
+		cs[j+1] = u
+	}
+}
+
+// uopChunk is the arena granularity: uops are carved from chunks this
+// large, so the allocator runs once per uopChunk fetches instead of once
+// per fetch (one heap object per fetched instruction was half of all
+// simulator allocations). A chunk is collected when every uop in it is
+// dead; the pipeline never recycles individual uops, so no liveness
+// tracking is needed.
+const uopChunk = 1024
+
+// newUop returns a zeroed uop from the arena.
+func (p *Pipeline) newUop() *uop {
+	if p.arenaN == len(p.arena) {
+		p.arena = make([]uop, uopChunk)
+		p.arenaN = 0
+	}
+	u := &p.arena[p.arenaN]
+	p.arenaN++
+	return u
+}

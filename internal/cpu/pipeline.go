@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 
 	"profileme/internal/bpred"
 	"profileme/internal/core"
@@ -61,6 +60,8 @@ type uop struct {
 	fp     bool
 	ea     uint64
 	eaOK   bool
+
+	robIdx int32 // ring slot in Pipeline.rob, valid while mapped or later
 }
 
 // Pipeline is the timing simulator for one program run.
@@ -77,7 +78,17 @@ type Pipeline struct {
 	robCount int
 	iqInt    []*uop
 	iqFP     []*uop
-	fetchBuf []*uop
+
+	// fetchBuf is a head-indexed deque: fetchBuf[fetchHead:] are the live
+	// entries. Popping advances fetchHead (no reslicing away front
+	// capacity); when the buffer empties, both reset so the backing array
+	// is reused forever.
+	fetchBuf  []*uop
+	fetchHead int
+
+	// arena carves uops out of uopChunk-sized blocks (see newUop).
+	arena  []uop
+	arenaN int
 
 	// Fetch state.
 	nextSeq         uint64
@@ -91,13 +102,14 @@ type Pipeline struct {
 	cycle      int64
 	seqCounter uint64
 
-	completing map[int64][]*uop
-	wakeups    map[int64][]*uop
+	completing *eventRing // functional-unit completion events
+	wakeups    *eventRing // load value-arrival events
 	divBusy    int64
 
 	prof        *core.Unit
 	profHandler func([]core.Sample)
 	ctrs        *counters.Unit
+	retireHook  func(seq, pc uint64)
 
 	// Fault injection (delivery-side) and the retire-progress watchdog.
 	faults         FaultInjector
@@ -133,6 +145,18 @@ func NewWithHierarchy(prog *isa.Program, src sim.Source, cfg Config, hier *mem.H
 	if hier == nil {
 		hier = mem.NewHierarchy(cfg.Mem)
 	}
+	// Ring span: the longest latency any event can be scheduled at — the
+	// slowest functional unit or a worst-case memory round trip (TLB fill
+	// plus a miss all the way to memory). Anything beyond it (exotic
+	// configs) spills to the ring's far map, so this is sizing, not a
+	// correctness bound.
+	span := cfg.Mem.TLBPenalty + cfg.Mem.DCache.HitLatency + cfg.Mem.L2Latency + cfg.Mem.MemLatency
+	for _, l := range [...]int{cfg.Lat.IntALU, cfg.Lat.IntMul, cfg.Lat.FAdd,
+		cfg.Lat.FDiv, cfg.Lat.Branch, cfg.Lat.Store, cfg.Mem.DCache.HitLatency} {
+		if l > span {
+			span = l
+		}
+	}
 	p := &Pipeline{
 		cfg:        cfg,
 		prog:       prog,
@@ -141,8 +165,8 @@ func NewWithHierarchy(prog *isa.Program, src sim.Source, cfg Config, hier *mem.H
 		hier:       hier,
 		ren:        newRenamer(cfg.PhysRegs),
 		rob:        make([]*uop, cfg.ROBSize),
-		completing: make(map[int64][]*uop),
-		wakeups:    make(map[int64][]*uop),
+		completing: newEventRing(span),
+		wakeups:    newEventRing(span),
 	}
 	if cfg.TrackPerPC {
 		p.pcs = newPerPC(prog.Len())
@@ -160,6 +184,11 @@ func NewWithHierarchy(prog *isa.Program, src sim.Source, cfg Config, hier *mem.H
 // the profiling software's interrupt handler; it runs when the unit's
 // interrupt is delivered, and fetch is frozen for Config.InterruptCost
 // cycles to model the delivery cost.
+//
+// The sample slice passed to handler is only valid for the duration of
+// the call: its backing storage is recycled for the next buffer fill
+// (core.Unit.Recycle). Handlers that keep samples must copy the Sample
+// values out (e.g. append(dst, ss...)), never retain the slice itself.
 func (p *Pipeline) AttachProfileMe(u *core.Unit, handler func([]core.Sample)) {
 	p.prof = u
 	p.profHandler = handler
@@ -167,6 +196,13 @@ func (p *Pipeline) AttachProfileMe(u *core.Unit, handler func([]core.Sample)) {
 
 // AttachCounters plugs baseline event-counter hardware into the pipeline.
 func (p *Pipeline) AttachCounters(u *counters.Unit) { p.ctrs = u }
+
+// SetRetireHook installs an observer called once per retired instruction,
+// in retirement order, with the instruction's correct-path sequence number
+// and PC. The differential test harness uses it to compare the pipeline's
+// architectural retirement stream against the functional simulator's
+// execution stream; nil detaches.
+func (p *Pipeline) SetRetireHook(fn func(seq, pc uint64)) { p.retireHook = fn }
 
 // FaultInjector is the delivery-side fault hook (internal/faultinject
 // implements it alongside core.FaultInjector). Methods must be
@@ -224,10 +260,11 @@ var ErrLivelock = errors.New("cpu: pipeline livelock")
 // whatever profiling the run accumulated, or retry.
 var ErrCanceled = errors.New("cpu: run canceled")
 
-// ctxCheckCycles is how many simulated cycles elapse between context
-// polls in RunContext: coarse enough that the select stays off the hot
-// path, fine enough that cancellation lands within microseconds of real
-// time.
+// ctxCheckCycles is how many simulated cycles elapse between supervision
+// checks in RunContext (context poll, cycle budget, watchdog): the inner
+// loop runs a whole batch with nothing but step(), so supervision is off
+// the per-cycle hot path entirely, yet cancellation still lands within a
+// bounded (and, in real time, microsecond-scale) number of cycles.
 const ctxCheckCycles = 1024
 
 // Run simulates until the instruction stream is exhausted and the pipeline
@@ -241,12 +278,16 @@ func (p *Pipeline) Run(maxCycles int64) (Result, error) {
 // machine state and returns the partial Result with an error matching
 // ErrCanceled. A fleet supervisor uses this to impose per-job wall-clock
 // deadlines and to hard-stop in-flight jobs during a drain.
+//
+// Supervision runs between batches of at most ctxCheckCycles cycles, so a
+// cancellation is honored within ctxCheckCycles simulated cycles of the
+// context firing, and the watchdog fires within ctxCheckCycles of its
+// bound being crossed. Each batch is additionally clamped so it cannot
+// overshoot maxCycles or sail past the earliest cycle the watchdog could
+// trip (which keeps tiny WatchdogCycles settings exact).
 func (p *Pipeline) RunContext(ctx context.Context, maxCycles int64) (Result, error) {
 	done := ctx.Done()
-	for {
-		if p.done() {
-			break
-		}
+	for !p.done() {
 		if maxCycles > 0 && p.cycle >= maxCycles {
 			p.finish()
 			return p.res, fmt.Errorf("%w (%d)", ErrCycleLimit, maxCycles)
@@ -255,7 +296,7 @@ func (p *Pipeline) RunContext(ctx context.Context, maxCycles int64) (Result, err
 			p.finish()
 			return p.res, err
 		}
-		if done != nil && p.cycle%ctxCheckCycles == 0 {
+		if done != nil {
 			select {
 			case <-done:
 				p.finish()
@@ -263,7 +304,20 @@ func (p *Pipeline) RunContext(ctx context.Context, maxCycles int64) (Result, err
 			default:
 			}
 		}
-		p.step()
+		batch := p.cycle + ctxCheckCycles
+		if maxCycles > 0 && batch > maxCycles {
+			batch = maxCycles
+		}
+		if wd := int64(p.cfg.WatchdogCycles); wd > 0 {
+			// Earliest cycle the watchdog could fire given progress so far;
+			// re-derived each batch as retirement moves lastProgress.
+			if deadline := p.lastProgress + wd + 1; deadline < batch {
+				batch = deadline
+			}
+		}
+		for p.cycle < batch && !p.done() {
+			p.step()
+		}
 	}
 	p.finish()
 	return p.res, nil
@@ -309,7 +363,7 @@ func (p *Pipeline) Finish() Result {
 func (p *Pipeline) Cycle() int64 { return p.cycle }
 
 func (p *Pipeline) done() bool {
-	return p.traceDone && !p.offPath && p.robCount == 0 && len(p.fetchBuf) == 0
+	return p.traceDone && !p.offPath && p.robCount == 0 && p.fetchHead == len(p.fetchBuf)
 }
 
 func (p *Pipeline) finish() {
@@ -321,16 +375,15 @@ func (p *Pipeline) finish() {
 	if p.prof != nil {
 		// Retired loads whose value is still in flight have deferred
 		// sample completion (§4.1.4): let those signals land before the
-		// final flush so their records show the true retirement.
-		for cyc, ws := range p.wakeups {
-			for _, u := range ws {
-				if u.state == stRetired && u.tag != core.NoTag {
-					p.prof.SetLoadComplete(u.tag, cyc)
-					p.prof.Complete(u.tag, true, core.TrapNone, u.retireCyc)
-					u.tag = core.NoTag
-				}
+		// final flush so their records show the true retirement. The ring
+		// drains in ascending cycle order, so the flush is deterministic.
+		p.wakeups.drainAscending(p.cycle, func(cyc int64, u *uop) {
+			if u.state == stRetired && u.tag != core.NoTag {
+				p.prof.SetLoadComplete(u.tag, cyc)
+				p.prof.Complete(u.tag, true, core.TrapNone, u.retireCyc)
+				u.tag = core.NoTag
 			}
-		}
+		})
 		p.prof.FlushInFlight(p.cycle)
 		// Drain even a partially filled buffer: the tail samples of the
 		// run would otherwise never reach software.
@@ -367,7 +420,7 @@ func (p *Pipeline) fetchStage() {
 	lineMask := ^uint64(p.cfg.Mem.ICache.LineBytes - 1)
 	slots := 0
 	for slots < p.cfg.FetchWidth {
-		if len(p.fetchBuf) >= p.cfg.FetchBuf {
+		if len(p.fetchBuf)-p.fetchHead >= p.cfg.FetchBuf {
 			p.presentEmpty(p.cfg.FetchWidth - slots)
 			return
 		}
@@ -448,14 +501,17 @@ func (p *Pipeline) fetchOne(pc uint64, rec sim.Record) *uop {
 		inst, _ = p.prog.At(pc)
 	}
 
-	u := &uop{
-		seq: p.seqCounter, pc: pc, inst: inst, class: inst.Op.Class(),
-		onPath: onPath, rec: rec, tag: core.NoTag,
-		dst: noPreg, oldDst: noPreg,
-		fetchCyc: p.cycle, mapCyc: -1, readyCyc: -1, issueCyc: -1,
-		completeCyc: -1, retireCyc: -1, valueCyc: -1,
-		histAtFetch: p.pred.History(),
-	}
+	// Arena uops come back zeroed, so only non-zero fields are written —
+	// a composite literal here would build the 200-byte struct on the
+	// stack and copy it over memory that is already zero.
+	u := p.newUop()
+	u.seq, u.pc, u.inst, u.class = p.seqCounter, pc, inst, inst.Op.Class()
+	u.onPath, u.rec, u.tag = onPath, rec, core.NoTag
+	u.dst, u.oldDst = noPreg, noPreg
+	u.fetchCyc = p.cycle
+	u.mapCyc, u.readyCyc, u.issueCyc = -1, -1, -1
+	u.completeCyc, u.retireCyc, u.valueCyc = -1, -1, -1
+	u.histAtFetch = p.pred.History()
 	p.seqCounter++
 	u.fp = u.class == isa.ClassFAdd || u.class == isa.ClassFDiv
 	u.events |= p.pendingFetchEv
@@ -555,8 +611,8 @@ func (p *Pipeline) presentEmpty(n int) {
 
 func (p *Pipeline) mapStage() {
 	mapped := 0
-	for mapped < p.cfg.MapWidth && len(p.fetchBuf) > 0 && p.robCount < p.cfg.ROBSize {
-		u := p.fetchBuf[0]
+	for mapped < p.cfg.MapWidth && p.fetchHead < len(p.fetchBuf) && p.robCount < p.cfg.ROBSize {
+		u := p.fetchBuf[p.fetchHead]
 		queue := &p.iqInt
 		qmax := p.cfg.IQInt
 		if u.fp {
@@ -591,7 +647,11 @@ func (p *Pipeline) mapStage() {
 			p.prof.SetStage(u.tag, core.StageMap, p.cycle)
 		}
 
-		p.fetchBuf = p.fetchBuf[1:]
+		p.fetchHead++
+		if p.fetchHead == len(p.fetchBuf) {
+			p.fetchBuf = p.fetchBuf[:0]
+			p.fetchHead = 0
+		}
 		*queue = append(*queue, u)
 		if p.iid != nil {
 			p.iid.onMap((p.robHead+p.robCount)%len(p.rob), u.seq)
@@ -724,8 +784,7 @@ func (p *Pipeline) tryIssue(u *uop, intAvail, memAvail, fpAvail *int) bool {
 		// value wakes consumers at valueCyc.
 		hit := p.cfg.Mem.DCache.HitLatency
 		latency = hit
-		value := p.cycle + int64(res.Latency)
-		p.wakeups[value] = append(p.wakeups[value], u)
+		p.wakeups.add(p.cycle, p.cycle+int64(res.Latency), u)
 	}
 
 	u.issueCyc = p.cycle
@@ -733,8 +792,7 @@ func (p *Pipeline) tryIssue(u *uop, intAvail, memAvail, fpAvail *int) bool {
 	if p.prof != nil && u.tag != core.NoTag {
 		p.prof.SetStage(u.tag, core.StageIssue, p.cycle)
 	}
-	done := p.cycle + int64(latency)
-	p.completing[done] = append(p.completing[done], u)
+	p.completing.add(p.cycle, p.cycle+int64(latency), u)
 	return true
 }
 
@@ -784,34 +842,30 @@ func (p *Pipeline) compactQueue(q *[]*uop) {
 
 func (p *Pipeline) completeStage() {
 	// Load values arriving this cycle wake consumers.
-	if ws, ok := p.wakeups[p.cycle]; ok {
-		delete(p.wakeups, p.cycle)
-		for _, u := range ws {
-			if u.state == stSquashed {
-				continue
-			}
-			u.valueCyc = p.cycle
-			p.ren.markReadyIfCurrent(u.dst, u.dstGen, p.cycle)
-			if p.prof != nil && u.tag != core.NoTag {
-				p.prof.SetLoadComplete(u.tag, p.cycle)
-				// A load that already retired (the Alpha lets loads
-				// retire before the value returns) could not finish its
-				// sample at retirement: the interrupt is delayed until
-				// all signals reach the Profile Registers (§4.1.4).
-				if u.state == stRetired {
-					p.prof.Complete(u.tag, true, core.TrapNone, u.retireCyc)
-					u.tag = core.NoTag
-				}
+	for _, u := range p.wakeups.take(p.cycle) {
+		if u.state == stSquashed {
+			continue
+		}
+		u.valueCyc = p.cycle
+		p.ren.markReadyIfCurrent(u.dst, u.dstGen, p.cycle)
+		if p.prof != nil && u.tag != core.NoTag {
+			p.prof.SetLoadComplete(u.tag, p.cycle)
+			// A load that already retired (the Alpha lets loads
+			// retire before the value returns) could not finish its
+			// sample at retirement: the interrupt is delayed until
+			// all signals reach the Profile Registers (§4.1.4).
+			if u.state == stRetired {
+				p.prof.Complete(u.tag, true, core.TrapNone, u.retireCyc)
+				u.tag = core.NoTag
 			}
 		}
 	}
 
-	cs, ok := p.completing[p.cycle]
-	if !ok {
+	cs := p.completing.take(p.cycle)
+	if len(cs) == 0 {
 		return
 	}
-	delete(p.completing, p.cycle)
-	sort.Slice(cs, func(i, j int) bool { return cs[i].seq < cs[j].seq })
+	sortBySeq(cs)
 	for _, u := range cs {
 		if u.state == stSquashed {
 			continue
@@ -895,9 +949,13 @@ func (p *Pipeline) resolveControl(u *uop) {
 // younger load to the same address issued before this store completed.
 func (p *Pipeline) checkReplay(st *uop) {
 	var victim *uop
-	for i := 0; i < p.robCount; i++ {
+	// Only instructions younger than the store can violate ordering, and
+	// they all sit after the store's ROB slot: start the walk there
+	// instead of at the head.
+	stOff := (int(st.robIdx) - p.robHead + len(p.rob)) % len(p.rob)
+	for i := stOff + 1; i < p.robCount; i++ {
 		u := p.rob[(p.robHead+i)%len(p.rob)]
-		if u.seq <= st.seq || u.class != isa.ClassLoad || !u.onPath || !u.eaOK {
+		if u.class != isa.ClassLoad || !u.onPath || !u.eaOK {
 			continue
 		}
 		if u.inst.Op == isa.OpPref {
@@ -949,9 +1007,12 @@ func (p *Pipeline) squashYounger(seq uint64, reason core.TrapReason) {
 // youngest-first).
 func (p *Pipeline) squashFrom(seq uint64, reason core.TrapReason) {
 	// Fetch buffer: all entries are younger than anything in the ROB;
-	// drop the tail with seq >= seq.
+	// drop the tail with seq >= seq. Survivors compact to the front of the
+	// backing array (writes never outrun the read cursor).
+	live := p.fetchBuf[p.fetchHead:]
 	kept := p.fetchBuf[:0]
-	for _, u := range p.fetchBuf {
+	p.fetchHead = 0
+	for _, u := range live {
 		if u.seq >= seq {
 			p.killUop(u, reason)
 		} else {
@@ -995,7 +1056,7 @@ func (p *Pipeline) killUop(u *uop, reason core.TrapReason) {
 		p.iid.onSquash(u.seq)
 	}
 	// Squashed entries remain in the issue queues until compaction and in
-	// the completing map until their cycle arrives; state checks skip them.
+	// the completion ring until their cycle arrives; state checks skip them.
 }
 
 // ---------------------------------------------------------------- retire --
@@ -1015,6 +1076,9 @@ func (p *Pipeline) retireStage() {
 		u.state = stRetired
 		u.retireCyc = p.cycle
 		p.ren.release(u.oldDst)
+		if p.retireHook != nil {
+			p.retireHook(u.rec.Seq, u.pc)
+		}
 		p.res.Retired++
 		p.res.IssuedUseful++
 		p.lastProgress = p.cycle
@@ -1089,7 +1153,10 @@ func (p *Pipeline) wastedSink(pc uint64, from, to int64, useful int64) {
 // ------------------------------------------------------------ interrupts --
 
 func (p *Pipeline) interruptStage() {
-	if p.ctrs == nil && p.prof == nil {
+	// Counters need the attribution PC every cycle; ProfileMe only needs
+	// it when an interrupt is actually deliverable. Skipping the ROB walk
+	// on quiet cycles is behavior-identical and keeps it off the hot path.
+	if p.ctrs == nil && (p.prof == nil || !p.prof.InterruptPending()) {
 		return
 	}
 	pc := p.attributionPC()
@@ -1137,6 +1204,9 @@ func (p *Pipeline) deliverProfileInterrupt() {
 	if p.profHandler != nil {
 		p.profHandler(samples)
 	}
+	// The handler has returned; its contract (AttachProfileMe) is that it
+	// copies what it keeps, so the buffer can back the next fill.
+	p.prof.Recycle(samples)
 }
 
 // attributionPC is the PC a performance-counter interrupt handler would
@@ -1149,8 +1219,8 @@ func (p *Pipeline) attributionPC() uint64 {
 			return u.pc
 		}
 	}
-	if len(p.fetchBuf) > 0 {
-		return p.fetchBuf[0].pc
+	if p.fetchHead < len(p.fetchBuf) {
+		return p.fetchBuf[p.fetchHead].pc
 	}
 	if p.offPath {
 		return p.offPC
@@ -1164,7 +1234,9 @@ func (p *Pipeline) attributionPC() uint64 {
 // ------------------------------------------------------------------- rob --
 
 func (p *Pipeline) robPush(u *uop) {
-	p.rob[(p.robHead+p.robCount)%len(p.rob)] = u
+	i := (p.robHead + p.robCount) % len(p.rob)
+	u.robIdx = int32(i)
+	p.rob[i] = u
 	p.robCount++
 }
 

@@ -8,28 +8,33 @@ type pregID int16
 const noPreg pregID = -1
 
 // renamer is the register-rename machinery: an architectural-to-physical
-// map table, a free list, and per-physical-register ready bits. Values are
+// map table, a free list, and per-physical-register readiness. Values are
 // never stored — the functional simulator supplies semantics — only
-// readiness timing.
+// readiness timing. Readiness and its timestamp share one slice: readyAt
+// holds the cycle the register's value became available, or notReady, so
+// the issue loop touches a single cache line per operand instead of two
+// parallel slices.
 type renamer struct {
 	mapTable [isa.NumRegs]pregID
 	free     []pregID
-	ready    []bool
-	readyAt  []int64  // cycle the register became ready (for data-ready timestamps)
+	readyAt  []int64  // ready since this cycle; notReady = value still in flight
 	gen      []uint32 // bumped on allocate; guards late wakeups of freed registers
 }
+
+// notReady marks a physical register whose value has not yet been
+// produced. It is below any real cycle (cycles start at 0).
+const notReady int64 = -1
 
 // newRenamer builds a renamer with physRegs physical registers. The first
 // NumRegs physicals are bound to the architectural registers and ready.
 func newRenamer(physRegs int) *renamer {
 	r := &renamer{
-		ready:   make([]bool, physRegs),
+		free:    make([]pregID, 0, physRegs),
 		readyAt: make([]int64, physRegs),
 		gen:     make([]uint32, physRegs),
 	}
 	for i := range r.mapTable {
 		r.mapTable[i] = pregID(i)
-		r.ready[i] = true
 	}
 	for p := physRegs - 1; p >= isa.NumRegs; p-- {
 		r.free = append(r.free, pregID(p))
@@ -55,7 +60,7 @@ func (r *renamer) allocate(a isa.Reg) (newP, oldP pregID) {
 	r.free = r.free[:len(r.free)-1]
 	oldP = r.mapTable[a]
 	r.mapTable[a] = newP
-	r.ready[newP] = false
+	r.readyAt[newP] = notReady
 	r.gen[newP]++
 	return newP, oldP
 }
@@ -84,14 +89,13 @@ func (r *renamer) markReady(p pregID, cycle int64) {
 	if p == noPreg {
 		return
 	}
-	r.ready[p] = true
 	r.readyAt[p] = cycle
 }
 
 // isReady reports whether p's value is available. noPreg (no source) is
 // always ready.
 func (r *renamer) isReady(p pregID) bool {
-	return p == noPreg || r.ready[p]
+	return p == noPreg || r.readyAt[p] != notReady
 }
 
 // readySince returns the cycle p became ready (0 for never-written

@@ -14,7 +14,8 @@ import (
 type traceWindow struct {
 	src  sim.Source
 	buf  []sim.Record
-	base uint64 // sequence number of buf[0]
+	head int    // buf[head:] are live; the dead prefix is reclaimed lazily
+	base uint64 // sequence number of buf[head]
 	eof  bool
 }
 
@@ -30,7 +31,7 @@ func (w *traceWindow) at(seq uint64) (sim.Record, bool) {
 	if seq < w.base {
 		panic(fmt.Sprintf("cpu: trace rewind to %d below window base %d", seq, w.base))
 	}
-	for seq >= w.base+uint64(len(w.buf)) {
+	for seq-w.base >= uint64(len(w.buf)-w.head) {
 		if w.eof {
 			return sim.Record{}, false
 		}
@@ -41,24 +42,33 @@ func (w *traceWindow) at(seq uint64) (sim.Record, bool) {
 		}
 		w.buf = append(w.buf, r)
 	}
-	return w.buf[seq-w.base], true
+	return w.buf[w.head+int(seq-w.base)], true
 }
 
 // trim discards records with sequence numbers below seq; they can no
-// longer be refetched.
+// longer be refetched. Trim runs once per retired instruction, so it must
+// not move memory each call: it advances a head index and only compacts
+// (slides the live tail down) once the dead prefix dominates the backing
+// array, which keeps both the memory bound (~2x the in-flight window) and
+// the per-retire cost O(1) amortized.
 func (w *traceWindow) trim(seq uint64) {
 	if seq <= w.base {
 		return
 	}
-	drop := seq - w.base
-	if drop >= uint64(len(w.buf)) {
+	drop := int(seq - w.base)
+	if drop >= len(w.buf)-w.head {
 		w.buf = w.buf[:0]
+		w.head = 0
 	} else {
-		n := copy(w.buf, w.buf[drop:])
-		w.buf = w.buf[:n]
+		w.head += drop
+		if w.head >= 64 && w.head > len(w.buf)/2 {
+			n := copy(w.buf, w.buf[w.head:])
+			w.buf = w.buf[:n]
+			w.head = 0
+		}
 	}
 	w.base = seq
 }
 
 // buffered returns the number of buffered records (tests/debug).
-func (w *traceWindow) buffered() int { return len(w.buf) }
+func (w *traceWindow) buffered() int { return len(w.buf) - w.head }

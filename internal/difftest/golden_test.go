@@ -1,0 +1,161 @@
+package difftest
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"profileme/internal/workload"
+)
+
+// update regenerates testdata/golden.json from the current tree. Only do
+// this deliberately, after establishing that a behavioral change is
+// intended:
+//
+//	go test ./internal/difftest -run TestGoldenDigests -update
+var update = flag.Bool("update", false, "regenerate golden digests from the current tree")
+
+const goldenPath = "testdata/golden.json"
+
+// goldenSeeds is the differential seed sweep: every workload runs once per
+// seed. Eight seeds exercise distinct sampling-interval draws and therefore
+// distinct interrupt timings, squash interactions, and sample streams.
+var goldenSeeds = []uint64{1, 2, 3, 5, 8, 13, 21, 0xdeadbeef}
+
+const (
+	goldenScale    = 20_000
+	goldenInterval = 64
+)
+
+// goldenSpecs enumerates the full sweep in deterministic order.
+func goldenSpecs() []Spec {
+	var specs []Spec
+	for _, b := range workload.Suite() {
+		for _, seed := range goldenSeeds {
+			specs = append(specs, Spec{
+				Workload: b.Name,
+				Scale:    goldenScale,
+				Seed:     seed,
+				Interval: goldenInterval,
+			})
+		}
+	}
+	return specs
+}
+
+// TestGoldenDigests drives every workload × seed cell through the timing
+// pipeline and the functional simulator and compares the run's digests
+// (retired stream, final architectural state, serialized profile.DB, cycle
+// count) against the checked-in goldens. Run itself asserts in-flight
+// architectural equivalence between the two simulators, so a golden
+// mismatch here means the run is self-consistent but *different* — a
+// timing, sampling, or determinism change.
+func TestGoldenDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep is slow; skipped with -short")
+	}
+	specs := goldenSpecs()
+
+	if *update {
+		golden := make(map[string]Digest, len(specs))
+		for _, spec := range specs {
+			d, err := Run(spec)
+			if err != nil {
+				t.Fatalf("generate %s: %v", spec.Key(), err)
+			}
+			golden[spec.Key()] = d
+		}
+		writeGolden(t, golden)
+		t.Logf("wrote %d golden digests to %s", len(golden), goldenPath)
+		return
+	}
+
+	golden := readGolden(t)
+	if len(golden) != len(specs) {
+		t.Fatalf("golden file has %d entries, sweep has %d (regenerate with -update)", len(golden), len(specs))
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Key(), func(t *testing.T) {
+			t.Parallel()
+			want, ok := golden[spec.Key()]
+			if !ok {
+				t.Fatalf("no golden entry for %s (regenerate with -update)", spec.Key())
+			}
+			got, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Compare(spec, got, want); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestRunDeterminism re-runs one cell per workload and requires digest
+// equality between back-to-back runs in the same process — a cheap guard
+// against map-iteration or scheduling nondeterminism sneaking into the
+// simulators themselves (as distinct from drifting away from the goldens).
+func TestRunDeterminism(t *testing.T) {
+	for _, b := range workload.Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			spec := Spec{Workload: b.Name, Scale: 5_000, Seed: 42, Interval: goldenInterval}
+			first, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first != second {
+				t.Errorf("two identical runs disagree:\n  first  %+v\n  second %+v", first, second)
+			}
+		})
+	}
+}
+
+func readGolden(t *testing.T) map[string]Digest {
+	t.Helper()
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read goldens (generate with -update): %v", err)
+	}
+	var golden map[string]Digest
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+	return golden
+}
+
+func writeGolden(t *testing.T, golden map[string]Digest) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.MarshalIndent(golden, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(goldenPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ExampleRun documents the harness shape for DESIGN.md readers.
+func ExampleRun() {
+	d, err := Run(Spec{Workload: "compress", Scale: 500, Seed: 7, Interval: 64})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(d.Retired > 0, d.Cycles > 0)
+	// Output: true true
+}

@@ -102,29 +102,52 @@ func Figure3(cfg Figure3Config) (*Figure3Result, error) {
 	if len(names) == 0 {
 		names = workload.Names()
 	}
-	res := &Figure3Result{Config: cfg}
+	// Enumerate the benchmark×interval cells and draw each cell's
+	// randomness from the shared RNG in sequential loop order BEFORE
+	// fanning out, so the parallel run is cell-for-cell identical to the
+	// sequential one.
+	type cell struct {
+		bench    workload.Benchmark
+		interval float64
+		seed     uint64     // timing mode
+		rng      *stats.RNG // fast mode
+	}
 	rng := stats.NewRNG(cfg.Seed)
-
+	var cells []cell
 	for _, name := range names {
 		bench, ok := workload.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("fig3: unknown benchmark %q", name)
 		}
 		for _, interval := range cfg.Intervals {
-			var series Figure3Series
-			var err error
+			c := cell{bench: bench, interval: interval}
 			if cfg.UseTiming {
-				series, err = convergenceRunTiming(bench, cfg.Scale, interval, rng.Uint64())
+				c.seed = rng.Uint64()
 			} else {
-				series, err = convergenceRun(bench, cfg.Scale, interval, rng.Split())
+				c.rng = rng.Split()
 			}
-			if err != nil {
-				return nil, fmt.Errorf("fig3: %s: %w", name, err)
-			}
-			res.Series = append(res.Series, series)
+			cells = append(cells, c)
 		}
 	}
-	return res, nil
+
+	series, err := parallelMap(len(cells), func(i int) (Figure3Series, error) {
+		c := cells[i]
+		var s Figure3Series
+		var err error
+		if cfg.UseTiming {
+			s, err = convergenceRunTiming(c.bench, cfg.Scale, c.interval, c.seed)
+		} else {
+			s, err = convergenceRun(c.bench, cfg.Scale, c.interval, c.rng)
+		}
+		if err != nil {
+			return Figure3Series{}, fmt.Errorf("fig3: %s: %w", c.bench.Name, err)
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure3Result{Config: cfg, Series: series}, nil
 }
 
 type pcCounts struct {

@@ -80,12 +80,22 @@ func Figure6(cfg Figure6Config) (*Figure6Result, error) {
 		}
 	}
 
-	for _, np := range progs {
-		results, err := pathprof.Evaluate(np.prog, cfg.Eval)
+	// Each program's evaluation is self-contained (pathprof derives its
+	// randomness from cfg.Eval per program), so programs fan out across
+	// the worker pool; pooling happens afterwards in program order, so
+	// the totals match the sequential loop exactly.
+	perProg, err := parallelMap(len(progs), func(i int) ([]*pathprof.ModeResult, error) {
+		results, err := pathprof.Evaluate(progs[i].prog, cfg.Eval)
 		if err != nil {
-			return nil, fmt.Errorf("fig6: %s: %w", np.name, err)
+			return nil, fmt.Errorf("fig6: %s: %w", progs[i].name, err)
 		}
-		res.PerProgram[np.name] = results
+		return results, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, results := range perProg {
+		res.PerProgram[progs[pi].name] = results
 		for mi, mr := range results {
 			for si := 0; si < pathprof.NumSchemes; si++ {
 				for li := range cfg.Eval.HistoryLens {

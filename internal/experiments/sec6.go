@@ -52,12 +52,20 @@ func Section6(cfg Section6Config) (*Section6Result, error) {
 		names = workload.Names()
 	}
 	res := &Section6Result{Config: cfg}
-	var overall stats.Weighted
 
-	for _, name := range names {
+	// Benchmarks are independent timing runs: fan them out, keeping each
+	// cell's window counts so the pooled statistic can be folded
+	// afterwards in benchmark order (same accumulation order — and
+	// therefore bit-identical floating point — as the sequential loop).
+	type cellOut struct {
+		row  Section6Row
+		wins []uint32
+	}
+	cells, err := parallelMap(len(names), func(i int) (cellOut, error) {
+		name := names[i]
 		bench, ok := workload.ByName(name)
 		if !ok {
-			return nil, fmt.Errorf("sec6: unknown benchmark %q", name)
+			return cellOut{}, fmt.Errorf("sec6: unknown benchmark %q", name)
 		}
 		prog := bench.Build(cfg.Scale)
 		ccfg := cpu.DefaultConfig()
@@ -65,7 +73,7 @@ func Section6(cfg Section6Config) (*Section6Result, error) {
 		ccfg.IPCWindowCycles = cfg.WindowCycles
 		_, pipe, err := runPipeline(prog, ccfg, nil, nil)
 		if err != nil {
-			return nil, fmt.Errorf("sec6: %s: %w", name, err)
+			return cellOut{}, fmt.Errorf("sec6: %s: %w", name, err)
 		}
 
 		wins := pipe.IPCWindows()
@@ -91,7 +99,6 @@ func Section6(cfg Section6Config) (*Section6Result, error) {
 			}
 			first = false
 			weighted.Add(ipc, float64(w))
-			overall.Add(ipc, float64(w))
 		}
 		row.MeanIPC = meanAcc.Mean()
 		if row.MinIPC > 0 {
@@ -100,7 +107,21 @@ func Section6(cfg Section6Config) (*Section6Result, error) {
 		if weighted.Mean() > 0 {
 			row.WeightedCoV = weighted.StdDev() / weighted.Mean()
 		}
-		res.Rows = append(res.Rows, row)
+		return cellOut{row: row, wins: wins}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var overall stats.Weighted
+	for _, c := range cells {
+		res.Rows = append(res.Rows, c.row)
+		for _, w := range c.wins {
+			if w == 0 {
+				continue
+			}
+			overall.Add(float64(w)/float64(cfg.WindowCycles), float64(w))
+		}
 	}
 	if overall.Mean() > 0 {
 		res.OverallCoV = overall.StdDev() / overall.Mean()

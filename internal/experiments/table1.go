@@ -46,7 +46,12 @@ func Table1(cfg Table1Config) (*Table1Result, error) {
 	progs["balanced"] = workload.Table1Baseline(cfg.Iters)
 	res := &Table1Result{Config: cfg}
 
-	for _, name := range append([]string{"balanced"}, workload.Table1Order()...) {
+	// Every kernel runs with the same configured seed (cells share no
+	// state at all), so the rows fan out directly; row order is the
+	// kernel list order regardless of scheduling.
+	names := append([]string{"balanced"}, workload.Table1Order()...)
+	rows, err := parallelMap(len(names), func(i int) (Table1Row, error) {
+		name := names[i]
 		prog := progs[name]
 		ccfg := cpu.DefaultConfig()
 		ccfg.InterruptCost = 0
@@ -57,7 +62,7 @@ func Table1(cfg Table1Config) (*Table1Result, error) {
 		unit := core.MustNewUnit(ucfg)
 		db := profile.NewDB(cfg.MeanInterval, 0, ccfg.SustainedIssueWidth)
 		if _, _, err := runPipeline(prog, ccfg, unit, db.Handler()); err != nil {
-			return nil, fmt.Errorf("table1: %s: %w", name, err)
+			return Table1Row{}, fmt.Errorf("table1: %s: %w", name, err)
 		}
 
 		row := Table1Row{Kernel: name}
@@ -83,8 +88,12 @@ func Table1(cfg Table1Config) (*Table1Result, error) {
 		if memCnt > 0 {
 			row.MemLat = float64(memSum) / float64(memCnt)
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

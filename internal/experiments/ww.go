@@ -97,6 +97,10 @@ type WWResult struct {
 // WW runs the comparison: the W&W sampler profiles one ROB slot of the
 // two-phase workload (a regular loop plus a branchy one), ProfileMe
 // samples fetched instructions at a matched rate.
+//
+// Unlike the other experiments, WW's two runs cannot fan out across the
+// worker pool: run 2's sampling interval is derived from run 1's realized
+// sample rate, so the runs are sequentially dependent by design.
 func WW(cfg WWConfig) (*WWResult, error) {
 	prog := wwProgram(cfg.Scale)
 	res := &WWResult{Config: cfg}

@@ -9,6 +9,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"profileme/internal/isa"
 )
@@ -27,12 +28,28 @@ type Record struct {
 	EA     uint64 // memory ops only: effective address
 }
 
+// Data memory is paged: each page holds the 64-bit words of memPageWords
+// consecutive byte addresses, so every address still names an independent
+// word — exactly the semantics of the flat map this replaces (unaligned
+// effective addresses included) — but the per-instruction map lookup on
+// the execute hot path drops to a shift-and-mask plus a last-page cache
+// hit for the common sequential access.
+const (
+	memPageShift = 6
+	memPageWords = 1 << memPageShift
+	memPageMask  = memPageWords - 1
+)
+
+type memPage [memPageWords]uint64
+
 // Machine is the architectural state. Create with New; step with Step or
 // Run. Not safe for concurrent use.
 type Machine struct {
 	prog   *isa.Program
 	regs   [isa.NumRegs]uint64
-	mem    map[uint64]uint64
+	pages  map[uint64]*memPage
+	lastPg *memPage // last page touched (nil until first access)
+	lastPK uint64   // its page key
 	pc     uint64
 	seq    uint64
 	halted bool
@@ -45,14 +62,43 @@ var ErrNoInst = errors.New("sim: PC outside program image")
 // memory initialized from the image, the link register set to HaltPC and
 // the stack pointer parked above the data segment.
 func New(prog *isa.Program) *Machine {
-	m := &Machine{prog: prog, mem: make(map[uint64]uint64, len(prog.Data)+64)}
+	m := &Machine{prog: prog, pages: make(map[uint64]*memPage, len(prog.Data)/memPageWords+16)}
 	for a, v := range prog.Data {
-		m.mem[a] = v
+		m.store(a, v)
 	}
 	m.pc = prog.Entry
 	m.regs[isa.RegRA] = HaltPC
 	m.regs[isa.RegSP] = 0x7f_0000
 	return m
+}
+
+// load reads the word at byte address addr (unmapped reads as zero).
+func (m *Machine) load(addr uint64) uint64 {
+	key := addr >> memPageShift
+	if pg := m.lastPg; pg != nil && m.lastPK == key {
+		return pg[addr&memPageMask]
+	}
+	pg := m.pages[key]
+	if pg == nil {
+		return 0
+	}
+	m.lastPg, m.lastPK = pg, key
+	return pg[addr&memPageMask]
+}
+
+// store writes the word at byte address addr, faulting a page in if needed.
+func (m *Machine) store(addr, v uint64) {
+	key := addr >> memPageShift
+	pg := m.lastPg
+	if pg == nil || m.lastPK != key {
+		pg = m.pages[key]
+		if pg == nil {
+			pg = new(memPage)
+			m.pages[key] = pg
+		}
+		m.lastPg, m.lastPK = pg, key
+	}
+	pg[addr&memPageMask] = v
 }
 
 // PC returns the current program counter.
@@ -81,10 +127,37 @@ func (m *Machine) SetReg(r isa.Reg, v uint64) {
 }
 
 // Load reads data memory (uninitialized locations read as zero).
-func (m *Machine) Load(addr uint64) uint64 { return m.mem[addr] }
+func (m *Machine) Load(addr uint64) uint64 { return m.load(addr) }
 
 // Store writes data memory.
-func (m *Machine) Store(addr, v uint64) { m.mem[addr] = v }
+func (m *Machine) Store(addr, v uint64) { m.store(addr, v) }
+
+// MemWord is one (address, value) pair of a memory snapshot.
+type MemWord struct {
+	Addr, Val uint64
+}
+
+// Snapshot returns the architectural state in canonical form: the register
+// file plus every nonzero data-memory word, sorted by address. Zero-valued
+// words are omitted because an untouched location also reads as zero, so
+// the canonical form is independent of which locations were ever written —
+// and therefore of the memory representation. The differential test
+// harness digests this to pin final-state equivalence across simulator
+// optimizations.
+func (m *Machine) Snapshot() (regs [isa.NumRegs]uint64, mem []MemWord) {
+	regs = m.regs
+	regs[isa.RegZero] = 0
+	for key, pg := range m.pages {
+		base := key << memPageShift
+		for off, v := range pg {
+			if v != 0 {
+				mem = append(mem, MemWord{Addr: base + uint64(off), Val: v})
+			}
+		}
+	}
+	sort.Slice(mem, func(i, j int) bool { return mem[i].Addr < mem[j].Addr })
+	return regs, mem
+}
 
 // Step executes one instruction and returns its record. After the program
 // halts, Step keeps returning (Record{}, false, nil).
@@ -150,12 +223,12 @@ func (m *Machine) Step() (Record, bool, error) {
 
 	case isa.OpLd:
 		r.EA = m.Reg(in.Rb) + uint64(in.Imm)
-		m.SetReg(in.Rc, m.mem[r.EA])
+		m.SetReg(in.Rc, m.load(r.EA))
 	case isa.OpPref:
 		r.EA = m.Reg(in.Rb) + uint64(in.Imm) // cache touch only
 	case isa.OpSt:
 		r.EA = m.Reg(in.Rb) + uint64(in.Imm)
-		m.mem[r.EA] = m.Reg(in.Ra)
+		m.store(r.EA, m.Reg(in.Ra))
 
 	case isa.OpBr:
 		r.Taken, next = true, in.Target
