@@ -1,0 +1,147 @@
+// Command pmrouter is the collector tier's frontend: a thin router that
+// places shard submissions onto N pmsimd instances with a
+// consistent-hash ring (virtual nodes, keyed by shard id) and answers
+// hot-PC/estimate/stats queries by scatter-gathering every reachable
+// instance.
+//
+// Robustness contract:
+//
+//   - Submissions go to the shard's ring owner; if the owner is down or
+//     draining the router fails over along the ring, and a sticky
+//     placement map sends retries back to the instance whose admission
+//     ledger already knows the shard — failover never double-merges.
+//   - Queries fan out with a per-instance deadline and hedged
+//     stragglers; instances that cannot answer degrade the response to
+//     an explicit partial ("partial": true + instances-missing count)
+//     instead of an all-or-nothing 504.
+//   - A background probe loop watches each instance's /readyz, so a
+//     SIGKILL'd instance stops receiving traffic within a probe period
+//     and a recovered one rejoins automatically.
+//
+// Example (3-instance tier):
+//
+//	pmsimd -addr :7070 -instance c0 -peers c1=http://localhost:7071,c2=http://localhost:7072
+//	pmsimd -addr :7071 -instance c1 -peers c0=http://localhost:7070,c2=http://localhost:7072
+//	pmsimd -addr :7072 -instance c2 -peers c0=http://localhost:7070,c1=http://localhost:7071
+//	pmrouter -addr :7000 -instances c0=http://localhost:7070,c1=http://localhost:7071,c2=http://localhost:7072
+//	pmsim -bench compress -fleet 4 -shards 16 -submit http://localhost:7000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"profileme/internal/cluster"
+	"profileme/internal/ingest"
+)
+
+func main() { os.Exit(run()) }
+
+// parseInstances parses "id=url,id=url" into router instances.
+func parseInstances(s string) ([]cluster.Instance, error) {
+	if s == "" {
+		return nil, fmt.Errorf("pmrouter: -instances is required (id=url,id=url,...)")
+	}
+	var out []cluster.Instance
+	for _, part := range strings.Split(s, ",") {
+		id, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("pmrouter: bad instance %q (want id=url)", part)
+		}
+		out = append(out, cluster.Instance{ID: id, BaseURL: strings.TrimRight(url, "/")})
+	}
+	return out, nil
+}
+
+func run() int {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7000", "listen address")
+		instances = flag.String("instances", "", "collector instances as id=url,id=url,... (ring identity = id)")
+		vnodes    = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per instance on the placement ring")
+		seed      = flag.Uint64("seed", 0, "virtual-node layout seed (same seed re-derives the same ring)")
+		deadline  = flag.Duration("query-deadline", 2*time.Second, "per-instance query leg deadline")
+		hedge     = flag.Duration("hedge", 250*time.Millisecond, "straggler hedge delay (negative disables)")
+		failures  = flag.Int("failure-threshold", 3, "consecutive transport failures that mark an instance down")
+		probeEach = flag.Duration("probe-every", 2*time.Second, "active /readyz probe period (0 disables)")
+		maxBody   = flag.Int64("max-body", 8<<20, "submission body size limit in bytes")
+	)
+	flag.Parse()
+
+	ins, err := parseInstances(*instances)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	logw := ingest.NewSyncWriter(os.Stderr)
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Instances:        ins,
+		VNodes:           *vnodes,
+		Seed:             *seed,
+		QueryDeadline:    *deadline,
+		HedgeDelay:       *hedge,
+		FailureThreshold: *failures,
+		MaxBodyBytes:     *maxBody,
+		Log:              logw,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmrouter:", err)
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmrouter:", err)
+		return 1
+	}
+	// Printed to stdout so scripts (and the smoke test) can scrape the
+	// bound port when -addr uses :0.
+	fmt.Printf("pmrouter: listening on %s (%d instances)\n", ln.Addr(), len(ins))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *probeEach > 0 {
+		go func() {
+			ticker := time.NewTicker(*probeEach)
+			defer ticker.Stop()
+			rt.Probe(ctx)
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					rt.Probe(ctx)
+				}
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{Handler: rt.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "pmrouter:", err)
+		return 1
+	}
+	stop()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "pmrouter: shutdown:", err)
+	}
+	st := rt.Stats()
+	fmt.Printf("pmrouter: exiting: %d submissions routed, %d failovers, %d hedges, %d partial responses\n",
+		st.Submits, st.Failovers, st.Hedges, st.PartialsServed)
+	return 0
+}

@@ -1,0 +1,339 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"profileme/internal/cluster"
+	"profileme/internal/core"
+	"profileme/internal/ingest"
+	"profileme/internal/profile"
+)
+
+// The tier smoke runs the real thing: two pmsimd collector processes
+// (built from this module) fronted by a real pmrouter process (this test
+// binary re-execed). One collector is SIGKILLed — the router must serve
+// explicit partial results and fail submissions over — then restarted at
+// the same address, after which the probe loop revives it and full
+// results return. Finally the surviving peer is SIGTERMed and must hand
+// its aggregate to the restarted instance, losing zero samples.
+
+const (
+	smokeHelperEnv = "PMROUTER_SMOKE_HELPER"
+	smokeArgsEnv   = "PMROUTER_SMOKE_ARGS"
+)
+
+// TestPmrouterHelperProcess is the child side: it becomes the router
+// daemon when re-execed by TestTierSmoke.
+func TestPmrouterHelperProcess(t *testing.T) {
+	if os.Getenv(smokeHelperEnv) != "1" {
+		t.Skip("helper process; driven by TestTierSmoke")
+	}
+	os.Args = append([]string{"pmrouter"}, strings.Fields(os.Getenv(smokeArgsEnv))...)
+	os.Exit(run())
+}
+
+// daemon is one child process whose stdout banner announces its address.
+type daemon struct {
+	cmd   *exec.Cmd
+	addr  string
+	mu    sync.Mutex
+	lines []string
+}
+
+func (d *daemon) output() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return strings.Join(d.lines, "\n")
+}
+
+// startDaemon launches argv, scrapes "<banner><addr>" from stdout, and
+// keeps collecting output for later assertions.
+func startDaemon(t *testing.T, banner string, env []string, argv ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = env
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd}
+	t.Cleanup(func() { cmd.Process.Kill() })
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			d.mu.Lock()
+			d.lines = append(d.lines, line)
+			d.mu.Unlock()
+			if rest, ok := strings.CutPrefix(line, banner); ok {
+				select {
+				case addrCh <- strings.Fields(rest)[0]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case d.addr = <-addrCh:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("%s never announced its listen address", argv[0])
+	}
+	return d
+}
+
+// smokeShard builds a tier-compatible shard (interval 16, width 4).
+func smokeShard(seed uint64, samples int) *profile.DB {
+	db := profile.NewDB(16, 0, 4)
+	for i := 0; i < samples; i++ {
+		r := core.Record{PC: 0x400 + 8*((seed+uint64(i)*3)%11), LoadComplete: -1}
+		for j := range r.StageCycle {
+			r.StageCycle[j] = -1
+		}
+		r.StageCycle[core.StageFetch] = int64(i)
+		r.StageCycle[core.StageRetire] = int64(i + 9)
+		r.Events = core.EvRetired
+		db.Add(core.Sample{First: r})
+	}
+	return db
+}
+
+type smokeSubmitResp struct {
+	status    int
+	Duplicate bool   `json:"duplicate"`
+	Instance  string `json:"instance"`
+}
+
+func smokeSubmit(t *testing.T, routerURL, shard string, db *profile.DB) (smokeSubmitResp, error) {
+	t.Helper()
+	body, err := ingest.EncodeSubmit(shard, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(routerURL+"/v1/submit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return smokeSubmitResp{}, err
+	}
+	defer resp.Body.Close()
+	out := smokeSubmitResp{status: resp.StatusCode}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return smokeSubmitResp{}, err
+	}
+	return out, nil
+}
+
+func smokeGet(t *testing.T, url string) (int, map[string]any, error) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	raw, _ := io.ReadAll(resp.Body)
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, m, nil
+}
+
+func TestTierSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke skipped in -short mode")
+	}
+	dir := t.TempDir()
+	env := os.Environ()
+
+	// Build the collector binary once from this module.
+	pmsimd := filepath.Join(dir, "pmsimd")
+	if out, err := exec.Command("go", "build", "-o", pmsimd, "profileme/cmd/pmsimd").CombinedOutput(); err != nil {
+		t.Fatalf("building pmsimd: %v\n%s", err, out)
+	}
+
+	// Process 1: collector c0 (will be SIGKILLed and restarted).
+	d0 := startDaemon(t, "pmsimd: listening on ", env, pmsimd,
+		"-addr", "127.0.0.1:0", "-instance", "c0", "-interval", "16", "-queue", "64")
+	url0 := "http://" + d0.addr
+
+	// Process 2: collector c1, with c0 as its drain-handoff peer.
+	d1 := startDaemon(t, "pmsimd: listening on ", env, pmsimd,
+		"-addr", "127.0.0.1:0", "-instance", "c1", "-interval", "16", "-queue", "64",
+		"-peers", "c0="+url0)
+	url1 := "http://" + d1.addr
+
+	// Process 3: the router (this test binary re-execed as pmrouter),
+	// with a fast probe loop so kill/recovery are observed quickly.
+	routerArgs := fmt.Sprintf("-addr 127.0.0.1:0 -instances c0=%s,c1=%s -probe-every 100ms -failure-threshold 2",
+		url0, url1)
+	router := startDaemon(t, "pmrouter: listening on ",
+		append(env, smokeHelperEnv+"=1", smokeArgsEnv+"="+routerArgs),
+		os.Args[0], "-test.run=TestPmrouterHelperProcess$")
+	front := "http://" + router.addr
+
+	// Pick shard ids with known owners on the default ring (the router
+	// runs default vnodes/seed), so both instances receive work.
+	ring := cluster.NewRing(0, 0)
+	ring.Add("c0")
+	ring.Add("c1")
+	shardsOf := map[string][]string{}
+	for i := 0; len(shardsOf["c0"]) < 3 || len(shardsOf["c1"]) < 3; i++ {
+		s := fmt.Sprintf("smoke/s%03d", i)
+		owner, _ := ring.Owner(s)
+		if len(shardsOf[owner]) < 3 {
+			shardsOf[owner] = append(shardsOf[owner], s)
+		}
+	}
+
+	// Submit three shards per instance through the router; all must land
+	// on their ring owner.
+	captured := map[string]uint64{}
+	seed := uint64(1)
+	for owner, ss := range shardsOf {
+		for _, s := range ss {
+			db := smokeShard(seed, 40+int(seed))
+			seed++
+			captured[s] = db.Samples() + db.Lost()
+			got, err := smokeSubmit(t, front, s, db)
+			if err != nil || got.status != http.StatusAccepted {
+				t.Fatalf("submit %s: %v status %d", s, err, got.status)
+			}
+			if got.Instance != owner {
+				t.Fatalf("shard %s landed on %s, ring owner is %s", s, got.Instance, owner)
+			}
+		}
+	}
+	status, hot, err := smokeGet(t, front+"/v1/hotpcs?n=5")
+	if err != nil || status != http.StatusOK || hot["partial"].(bool) {
+		t.Fatalf("healthy tier hotpcs: %v status %d partial %v", err, status, hot["partial"])
+	}
+
+	// SIGKILL c0. The router must keep serving — partial — and fail new
+	// c0-owned submissions over to c1.
+	if err := d0.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d0.cmd.Wait()
+
+	failoverShard := ""
+	for i := 1000; ; i++ {
+		s := fmt.Sprintf("smoke/s%03d", i)
+		if owner, _ := ring.Owner(s); owner == "c0" {
+			failoverShard = s
+			break
+		}
+	}
+	fdb := smokeShard(99, 70)
+	captured[failoverShard] = fdb.Samples() + fdb.Lost()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		got, err := smokeSubmit(t, front, failoverShard, fdb)
+		if err == nil && got.status == http.StatusAccepted {
+			if got.Instance != "c1" {
+				t.Fatalf("failover submission landed on %s, want c1", got.Instance)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("failover submission never accepted (last: %v %+v)", err, got)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for {
+		status, hot, err = smokeGet(t, front+"/v1/hotpcs?n=5")
+		if err == nil && status == http.StatusOK && hot["partial"].(bool) {
+			break // explicit degradation, not a 504
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router never served explicit partial results after the kill (last: %v %d %v)", err, status, hot)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Recovery: restart c0 at the SAME address (its ring identity and its
+	// peers' -peers flags both point there); the probe loop revives it.
+	d0 = startDaemon(t, "pmsimd: listening on ", env, pmsimd,
+		"-addr", d0.addr, "-instance", "c0", "-interval", "16", "-queue", "64")
+	for {
+		status, hot, err = smokeGet(t, front+"/v1/hotpcs?n=5")
+		if err == nil && status == http.StatusOK && !hot["partial"].(bool) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router never recovered after c0 restart (last: %v %d %v)", err, status, hot)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Graceful drain of c1: SIGTERM → flush → handoff to its ring peer
+	// c0 → clean exit, no samples lost. c1 held its three original
+	// shards plus the failover shard; all of it must migrate to c0.
+	var wantMigrated uint64
+	for _, s := range shardsOf["c1"] {
+		wantMigrated += captured[s]
+	}
+	wantMigrated += captured[failoverShard]
+	if err := d1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- d1.cmd.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Fatalf("c1 did not exit cleanly after SIGTERM: %v\n%s", err, d1.output())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("c1 did not exit within the drain budget")
+	}
+	if out := d1.output(); !strings.Contains(out, "handed off to c0") {
+		t.Fatalf("c1 drain did not hand off to c0:\n%s", out)
+	}
+
+	// The restarted c0 now carries c1's whole aggregate; the router's
+	// fleet rollup (partial: c1 is gone) proves zero handed-off loss.
+	for {
+		status, stats, err := smokeGet(t, front+"/v1/stats")
+		if err == nil && status == http.StatusOK {
+			fleet := stats["fleet"].(map[string]any)
+			if uint64(fleet["handoffs_in"].(float64)) == 1 &&
+				uint64(fleet["samples"].(float64)+fleet["lost"].(float64)) == wantMigrated {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet rollup never showed the migrated aggregate (want %d captured)", wantMigrated)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The router itself drains cleanly.
+	if err := router.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	go func() { waited <- router.cmd.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Fatalf("router did not exit cleanly: %v\n%s", err, router.output())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("router did not exit after SIGTERM")
+	}
+}

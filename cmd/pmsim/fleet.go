@@ -37,6 +37,18 @@ type fleetOptions struct {
 	quiet      bool
 }
 
+// splitSubmitURLs expands the -submit value: a comma-separated list of
+// collector URLs, primary first. validate already checked each entry.
+func splitSubmitURLs(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
+
 // fleetJobs expands benchmark × shards into the campaign job list. Shards
 // of one benchmark run the same program and differ only by sampling seed
 // (derived per job ID by the runner), which is exactly the independent-
@@ -85,10 +97,13 @@ func runFleet(o fleetOptions) int {
 		cfg.Log = os.Stderr
 	}
 	if o.submitURL != "" {
-		// Each completed shard is also POSTed to the pmsimd collector;
-		// undeliverable shards stay in the local aggregate and the report
-		// counts them as degradation, not failure.
-		cfg.Sink = runner.NewHTTPSink(o.submitURL)
+		// Each completed shard is also POSTed to the collector (a pmsimd
+		// or a pmrouter); undeliverable shards stay in the local aggregate
+		// and the report counts them as degradation, not failure. Extra
+		// comma-separated URLs are transport-failover fallbacks — same
+		// tier, different frontend.
+		urls := splitSubmitURLs(o.submitURL)
+		cfg.Sink = runner.NewHTTPSink(urls[0], urls[1:]...)
 	}
 	jobs := fleetJobs(o)
 

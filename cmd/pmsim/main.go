@@ -60,7 +60,7 @@ func main() {
 		list      = flag.Bool("list", false, "list the suite benchmarks and exit")
 
 		fleetN     = flag.Int("fleet", 0, "fleet mode: run a supervised campaign across this many workers")
-		submitURL  = flag.String("submit", "", "fleet mode: also POST each completed shard profile to this pmsimd collector (e.g. http://localhost:7070)")
+		submitURL  = flag.String("submit", "", "fleet mode: also POST each completed shard profile to this collector; comma-separated URLs add transport-failover fallbacks (e.g. http://localhost:7000)")
 		shards     = flag.Int("shards", 4, "fleet mode: sampling shards per benchmark")
 		checkpoint = flag.String("checkpoint", "", "fleet mode: checkpoint directory for crash-safe campaign state")
 		resume     = flag.Bool("resume", false, "fleet mode: resume the campaign in -checkpoint instead of starting fresh")

@@ -54,8 +54,16 @@ func (v flagValues) validate() error {
 		return fmt.Errorf("pmsim: -resume needs -checkpoint <dir> pointing at the campaign to continue")
 	case v.submit != "" && v.fleet < 1 && !v.resume:
 		return fmt.Errorf("pmsim: -submit delivers fleet shards; combine it with -fleet <workers> (or -resume)")
-	case v.submit != "" && !strings.HasPrefix(v.submit, "http://") && !strings.HasPrefix(v.submit, "https://"):
-		return fmt.Errorf("pmsim: -submit %q: collector URL must start with http:// or https://", v.submit)
+	}
+	if v.submit != "" {
+		// -submit accepts a comma-separated list: primary collector (or
+		// router) first, transport-failover fallbacks after.
+		for _, u := range strings.Split(v.submit, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" || (!strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://")) {
+				return fmt.Errorf("pmsim: -submit %q: collector URL must start with http:// or https://", u)
+			}
+		}
 	}
 	return nil
 }

@@ -35,9 +35,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"profileme/internal/cluster"
 	"profileme/internal/ingest"
 	"profileme/internal/profile"
 	"profileme/internal/server"
@@ -63,8 +65,32 @@ func run() int {
 		brkFails    = flag.Int("breaker-failures", 3, "consecutive checkpoint failures that open the circuit breaker")
 		brkCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "breaker open period before a half-open probe")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget after SIGTERM")
+
+		instance = flag.String("instance", "", "tier instance id (ring identity; enables clustered drain handoff with -peers)")
+		peers    = flag.String("peers", "", "ring peers as id=url,id=url,... — a graceful drain hands the aggregate to the ring successor")
+		vnodes   = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per instance on the placement ring (must match the router)")
+		ringSeed = flag.Uint64("ring-seed", 0, "virtual-node layout seed (must match the router)")
 	)
 	flag.Parse()
+
+	peerURLs := make(map[string]string)
+	if *peers != "" {
+		if *instance == "" {
+			fmt.Fprintln(os.Stderr, "pmsimd: -peers requires -instance")
+			return 2
+		}
+		for _, part := range strings.Split(*peers, ",") {
+			id, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if !ok || id == "" || url == "" {
+				fmt.Fprintf(os.Stderr, "pmsimd: bad peer %q (want id=url)\n", part)
+				return 2
+			}
+			if id == *instance {
+				continue // tolerate self in a shared peer list
+			}
+			peerURLs[id] = strings.TrimRight(url, "/")
+		}
+	}
 
 	policy, err := ingest.ParsePolicy(*overflow)
 	if err != nil {
@@ -97,6 +123,11 @@ func run() int {
 		}
 	}
 
+	// One mutex'd writer for every component's log lines: under a tier
+	// soak several instances share one stderr, and attribution requires
+	// whole, instance-tagged lines.
+	logw := ingest.NewSyncWriter(os.Stderr)
+
 	svc, err := ingest.NewService(ingest.Config{
 		QueueDepth:       *queue,
 		Policy:           policy,
@@ -107,7 +138,7 @@ func run() int {
 		CheckpointEvery:  *ckptEvery,
 		BreakerThreshold: *brkFails,
 		BreakerCooldown:  *brkCooldown,
-		Log:              os.Stderr,
+		Log:              logw,
 	}, seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmsimd:", err)
@@ -116,10 +147,11 @@ func run() int {
 	svc.Start()
 
 	srv := server.New(server.Config{
+		Instance:      *instance,
 		MaxBodyBytes:  *maxBody,
 		QueryDeadline: *queryDeadline,
 		MaxQueries:    *maxQueries,
-		Log:           os.Stderr,
+		Log:           logw,
 	}, svc)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -147,15 +179,44 @@ func run() int {
 
 	// Graceful drain: refuse new work first (readiness flips, late
 	// submissions are 503'd WITH loss accounting), let in-flight requests
-	// finish, flush the queue, then the final atomic checkpoint.
-	fmt.Fprintln(os.Stderr, "pmsimd: signal received, draining (stop accepting → flush queue → final checkpoint)")
+	// finish, flush the queue — then either hand the aggregate to the
+	// ring successor (clustered: a rolling restart loses zero samples) or
+	// write the final atomic checkpoint (standalone durability).
+	fmt.Fprintln(os.Stderr, "pmsimd: signal received, draining (stop accepting → flush queue → handoff or final checkpoint)")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	svc.BeginDrain()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "pmsimd: http shutdown:", err)
 	}
-	if err := svc.Drain(drainCtx); err != nil {
+	if err := svc.Flush(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "pmsimd:", err)
+		return 1
+	}
+	if len(peerURLs) > 0 {
+		res, err := cluster.DrainHandoff(drainCtx, svc, nil, *instance, peerURLs, *vnodes, *ringSeed, logw)
+		if err != nil {
+			// Every peer refused or was unreachable: fall back to local
+			// durability — the checkpoint keeps the aggregate recoverable.
+			fmt.Fprintf(os.Stderr, "pmsimd: %v; falling back to local checkpoint\n", err)
+		} else {
+			// The samples now live exactly once, at the successor. A
+			// checkpoint left behind would double-count them on restart;
+			// quarantine it instead of deleting history.
+			if *ckpt != "" {
+				if _, statErr := os.Stat(*ckpt); statErr == nil {
+					if err := os.Rename(*ckpt, *ckpt+".handedoff"); err != nil {
+						fmt.Fprintf(os.Stderr, "pmsimd: could not retire checkpoint after handoff: %v\n", err)
+					}
+				}
+			}
+			st := svc.Stats()
+			fmt.Printf("pmsimd: drained cleanly: %d shards merged; aggregate (%d samples, %d lost) handed off to %s\n",
+				st.Merged, st.Samples, st.Lost, res.Instance)
+			return 0
+		}
+	}
+	if err := svc.FinalCheckpoint(); err != nil {
 		fmt.Fprintln(os.Stderr, "pmsimd:", err)
 		return 1
 	}

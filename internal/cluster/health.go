@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+// InstanceState is the router's view of one collector instance.
+type InstanceState int
+
+const (
+	// StateHealthy: the instance answers and admits work.
+	StateHealthy InstanceState = iota
+	// StateDraining: the instance answered 503 draining — it still
+	// serves queries for a grace period but refuses new submissions, so
+	// the router fails submissions over to its ring successor.
+	StateDraining
+	// StateDown: consecutive transport failures crossed the threshold —
+	// the instance gets no traffic until a probe or success revives it.
+	StateDown
+)
+
+// String returns the wire spelling of the state.
+func (s InstanceState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDraining:
+		return "draining"
+	case StateDown:
+		return "down"
+	}
+	return "unknown"
+}
+
+// health tracks per-instance state from both passive signals (request
+// outcomes) and active /readyz probes. All methods are safe for
+// concurrent use.
+type health struct {
+	mu        sync.Mutex
+	threshold int // consecutive failures that mark an instance Down
+	state     map[string]InstanceState
+	fails     map[string]int
+}
+
+func newHealth(threshold int, instances []string) *health {
+	if threshold < 1 {
+		threshold = 3
+	}
+	h := &health{
+		threshold: threshold,
+		state:     make(map[string]InstanceState, len(instances)),
+		fails:     make(map[string]int, len(instances)),
+	}
+	for _, id := range instances {
+		h.state[id] = StateHealthy
+	}
+	return h
+}
+
+// reportSuccess clears failure history and revives a Down/Draining
+// instance: any successful exchange proves it is back.
+func (h *health) reportSuccess(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fails[id] = 0
+	h.state[id] = StateHealthy
+}
+
+// reportFailure counts one transport failure; crossing the threshold
+// marks the instance Down. Returns the resulting state.
+func (h *health) reportFailure(id string) InstanceState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fails[id]++
+	if h.fails[id] >= h.threshold {
+		h.state[id] = StateDown
+	}
+	return h.state[id]
+}
+
+// reportDraining marks an instance draining (it said so itself with a
+// 503 draining refusal, or its /readyz flipped).
+func (h *health) reportDraining(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.state[id] = StateDraining
+	h.fails[id] = 0
+}
+
+// get returns the instance's current state (Healthy for unknown ids).
+func (h *health) get(id string) InstanceState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state[id]
+}
+
+// snapshot returns a copy of every instance's state.
+func (h *health) snapshot() map[string]InstanceState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]InstanceState, len(h.state))
+	for id, st := range h.state {
+		out[id] = st
+	}
+	return out
+}
+
+// Probe actively refreshes every instance's health from its /readyz:
+// 200 revives, 503 with a draining body marks draining, transport
+// failure counts toward Down. The router's daemon runs this on a timer;
+// tests call it directly after killing or reviving an instance.
+func (rt *Router) Probe(ctx context.Context) {
+	for id, base := range rt.instanceURLs() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			if rt.health.reportFailure(id) == StateDown {
+				rt.logf("probe: instance %s down (%v)", id, err)
+			}
+			continue
+		}
+		kind := drainKind(resp)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			rt.health.reportSuccess(id)
+		case kind == "draining":
+			rt.health.reportDraining(id)
+			rt.logf("probe: instance %s draining", id)
+		default:
+			// Not ready for another reason (e.g. breaker open): the
+			// instance still serves queries and dedupes submissions, so
+			// leave routing alone rather than guessing.
+		}
+	}
+}

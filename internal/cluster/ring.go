@@ -1,0 +1,228 @@
+// Package cluster is the multi-instance collector tier in front of the
+// pmsimd stack: consistent-hash shard placement over N instances, a
+// scatter-gather router that degrades to explicit partial results when
+// instances are down, a passive/active health tracker, and the drain
+// handoff that moves a retiring instance's aggregate to its ring
+// successor so a rolling restart loses zero accumulated samples.
+//
+// The tier-level contract extends the single-instance conservation
+// invariant of internal/ingest fleet-wide:
+//
+//	Σ captured over distinct (instance, shard) == Σ over live instances of Samples+Lost
+//
+// where a (instance, shard) pair is "recorded" when the shard finally
+// merged at that instance or its refusal loss still stands there, and a
+// handed-off aggregate carries its recorder's pairs to the successor.
+// The tier saturation soak pins this down under a 4× flood with a
+// SIGKILL and a graceful drain mid-flood.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// fnv1a64 hashes key with a seed folded in first, so a deployment can
+// pick a virtual-node layout without losing determinism: the same
+// (seed, instances) always yields the same ring, across process
+// restarts and insertion orders.
+//
+// Raw FNV-1a is not enough here: ring order sorts on the HIGH bits, and
+// for the short, prefix-shared keys this ring sees ("c0#17", "c0#18",
+// "compress/s003") a trailing-byte difference only reaches the low ~48
+// bits, clustering one instance's virtual nodes and skewing ownership
+// far beyond vnode variance. The final avalanche (the 64-bit
+// mix from MurmurHash3) spreads every input bit across all 64 output
+// bits; the rebalance property test holds the shares to the expected
+// 1/N ± ε.
+func fnv1a64(seed uint64, key string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= (seed >> (8 * i)) & 0xff
+		h *= prime
+	}
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// ringPoint is one virtual node: an instance's presence at a hash
+// position on the ring.
+type ringPoint struct {
+	hash     uint64
+	instance string
+}
+
+// Ring is a consistent-hash ring with virtual nodes, keyed by shard id.
+// Placement is deterministic: the ring is a pure function of (seed,
+// vnodes, instance set) — no randomness, no insertion-order dependence —
+// so a restarted router re-derives the identical layout and a retried
+// shard lands on the same owner. Not safe for concurrent use; the
+// Router guards its ring with a mutex.
+type Ring struct {
+	vnodes    int
+	seed      uint64
+	points    []ringPoint // sorted by (hash, instance)
+	instances map[string]bool
+}
+
+// DefaultVNodes is the default virtual-node count per instance: enough
+// that one instance joining or leaving moves close to the ideal 1/N of
+// the key space (the rebalance property test bounds the deviation).
+const DefaultVNodes = 128
+
+// NewRing builds an empty ring. vnodes <= 0 selects DefaultVNodes.
+func NewRing(vnodes int, seed uint64) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, seed: seed, instances: make(map[string]bool)}
+}
+
+// Add places instance's virtual nodes on the ring. Adding an instance
+// twice is a no-op.
+func (r *Ring) Add(instance string) {
+	if r.instances[instance] {
+		return
+	}
+	r.instances[instance] = true
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, ringPoint{
+			hash:     fnv1a64(r.seed, fmt.Sprintf("%s#%d", instance, v)),
+			instance: instance,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].instance < r.points[j].instance
+	})
+}
+
+// Remove takes instance's virtual nodes off the ring; its keys fall to
+// their ring successors and no other key moves.
+func (r *Ring) Remove(instance string) {
+	if !r.instances[instance] {
+		return
+	}
+	delete(r.instances, instance)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.instance != instance {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Instances returns the member instances in sorted order.
+func (r *Ring) Instances() []string {
+	out := make([]string, 0, len(r.instances))
+	for id := range r.instances {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of member instances.
+func (r *Ring) Size() int { return len(r.instances) }
+
+// Owner returns the instance owning key — the first virtual node at or
+// clockwise after the key's hash. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.at(key)].instance, true
+}
+
+// at returns the index of the first point at or after key's hash,
+// wrapping at the top of the ring.
+func (r *Ring) at(key string) int {
+	h := fnv1a64(r.seed, key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Successors returns up to max distinct instances in ring order starting
+// at key's owner — the failover candidate list for a submission.
+func (r *Ring) Successors(key string, max int) []string {
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	if max > len(r.instances) {
+		max = len(r.instances)
+	}
+	out := make([]string, 0, max)
+	seen := make(map[string]bool, max)
+	for i, n := r.at(key), 0; n < len(r.points) && len(out) < max; i, n = (i+1)%len(r.points), n+1 {
+		id := r.points[i].instance
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Successor returns the distinct instance that follows instance on the
+// ring — the drain-handoff recipient: the instance that inherits most of
+// the drainer's key space. ok is false when instance is not a member or
+// is the only member.
+func (r *Ring) Successor(instance string) (string, bool) {
+	if !r.instances[instance] || len(r.instances) < 2 {
+		return "", false
+	}
+	// Walk clockwise from the instance's first virtual node; the first
+	// point owned by someone else is the successor. Deterministic because
+	// the point order is.
+	start := -1
+	for i, p := range r.points {
+		if p.instance == instance {
+			start = i
+			break
+		}
+	}
+	for i, n := (start+1)%len(r.points), 0; n < len(r.points); i, n = (i+1)%len(r.points), n+1 {
+		if r.points[i].instance != instance {
+			return r.points[i].instance, true
+		}
+	}
+	return "", false
+}
+
+// lockedRing is the Router's concurrency wrapper: membership changes
+// (SetInstance at recovery) race with per-request owner lookups.
+type lockedRing struct {
+	mu sync.Mutex
+	r  *Ring
+}
+
+func (l *lockedRing) successors(key string, max int) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Successors(key, max)
+}
+
+func (l *lockedRing) size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Size()
+}

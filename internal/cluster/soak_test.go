@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"profileme/internal/core"
+	"profileme/internal/cpu"
+	"profileme/internal/ingest"
+	"profileme/internal/profile"
+	"profileme/internal/server"
+	"profileme/internal/sim"
+	"profileme/internal/workload"
+)
+
+// The tier saturation soak is the acceptance test for the fleet-wide
+// conservation invariant:
+//
+//	Σ captured over distinct (instance, shard) == Σ over live instances of Samples+Lost
+//
+// under the worst conditions the tier promises to survive at once: a 4×
+// capacity flood, one instance SIGKILLed mid-flood, and one gracefully
+// drained mid-flood with its aggregate handed to the ring successor. On
+// top of exact conservation, the loss-corrected hot-PC ranking must
+// still match a single-instance baseline (≥ 8/10 overlap) and the
+// graceful drain must lose zero handed-off samples.
+
+const (
+	tierSoakShards   = 24
+	tierSoakScale    = 40_000
+	tierSoakInterval = 16
+)
+
+// tierShardDB runs one real simulated shard — same wiring as the
+// fleet's simulate() — with a shard-specific sampling seed.
+func tierShardDB(t *testing.T, seed uint64) *profile.DB {
+	t.Helper()
+	b, ok := workload.ByName("compress")
+	if !ok {
+		t.Fatal("no compress benchmark")
+	}
+	prog := b.Build(tierSoakScale)
+	ccfg := cpu.DefaultConfig()
+	unit, err := core.NewUnit(core.Config{
+		MeanInterval: tierSoakInterval,
+		BufferDepth:  8,
+		CountMode:    core.CountInstructions,
+		IntervalMode: core.IntervalGeometric,
+		Seed:         seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := profile.NewDB(tierSoakInterval, 0, ccfg.SustainedIssueWidth)
+	pipe, err := cpu.New(prog, sim.NewMachineSource(sim.New(prog), 0), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.AttachProfileMe(unit, db.Handler())
+	if _, err := pipe.Run(0); err != nil {
+		t.Fatalf("shard sim (seed %d): %v", seed, err)
+	}
+	st := unit.Stats()
+	db.RecordLoss(st.SamplesDropped + st.SamplesOverwritten)
+	return db
+}
+
+func topPCSet(pcs []uint64) map[uint64]bool {
+	set := make(map[uint64]bool, len(pcs))
+	for _, pc := range pcs {
+		set[pc] = true
+	}
+	return set
+}
+
+func TestTierSaturationSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: real shard simulations")
+	}
+
+	// Real shards, differing only by sampling seed — the independent
+	// sampled runs the paper's aggregation argument assumes.
+	shards := make([]*profile.DB, tierSoakShards)
+	for i := range shards {
+		shards[i] = tierShardDB(t, uint64(i)+1)
+	}
+	shardID := func(i int) string { return fmt.Sprintf("compress/s%03d", i) }
+	captured := func(i int) uint64 { return shards[i].Samples() + shards[i].Lost() }
+
+	// Single-instance baseline: every shard merged, nothing lost.
+	baseline := profile.NewDB(tierSoakInterval, 0, cpu.DefaultConfig().SustainedIssueWidth)
+	for i, sh := range shards {
+		if err := baseline.Merge(sh); err != nil {
+			t.Fatalf("baseline merge %d: %v", i, err)
+		}
+	}
+	var baselineTop []uint64
+	for _, a := range baseline.HotPCs(10) {
+		baselineTop = append(baselineTop, a.PC)
+	}
+	if len(baselineTop) < 10 {
+		t.Fatalf("baseline has only %d hot PCs", len(baselineTop))
+	}
+
+	// Three instances, queue depth 2 each — 24 shards against 6 queue
+	// slots is the 4× flood. Aggregators are held so wave 1's outcome is
+	// overload, not a race.
+	ids := []string{"c0", "c1", "c2"}
+	byID := make(map[string]*tierInstance, len(ids))
+	peers := make(map[string]string, len(ids))
+	var cfg RouterConfig
+	for _, id := range ids {
+		in := &tierInstance{id: id}
+		svc, err := ingest.NewService(ingest.Config{
+			QueueDepth: 2,
+			Interval:   tierSoakInterval,
+			Width:      cpu.DefaultConfig().SustainedIssueWidth,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.svc = svc
+		in.ts = httptest.NewServer(server.New(server.Config{Instance: id}, svc).Handler())
+		defer in.ts.Close()
+		byID[id] = in
+		peers[id] = in.ts.URL
+		cfg.Instances = append(cfg.Instances, Instance{ID: id, BaseURL: in.ts.URL})
+	}
+	cfg.FailureThreshold = 2
+	cfg.HedgeDelay = -1 // hedging is covered elsewhere; keep the flood deterministic
+	rt, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// The tier-side ledger tally, built ONLY from what clients can see:
+	// the router's augmented responses. acc[s] is where the shard finally
+	// merged; refusedAt[s] the instances whose loss ledger recorded it.
+	var mu sync.Mutex
+	acc := make(map[int]string)
+	refusedAt := make(map[int]map[string]bool)
+	noteRefusal := func(i int, instance string) {
+		if instance == "" {
+			return
+		}
+		if refusedAt[i] == nil {
+			refusedAt[i] = make(map[string]bool)
+		}
+		refusedAt[i][instance] = true
+	}
+	submit := func(i int) submitResp {
+		got := submitVia(t, front.URL, shardID(i), shards[i])
+		mu.Lock()
+		defer mu.Unlock()
+		for _, id := range got.RefusedBy {
+			noteRefusal(i, id)
+		}
+		switch got.status {
+		case http.StatusAccepted:
+			acc[i] = got.Instance
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			// 429 queue-full and 503 draining both record the shard's
+			// captured samples as loss at the refusing instance; the
+			// router's "no-instances" 503 carries no instance and records
+			// nothing.
+			noteRefusal(i, got.Instance)
+		default:
+			t.Errorf("shard %d: unexpected status %d", i, got.status)
+		}
+		return got
+	}
+
+	// Wave 1: the 4× flood, aggregators held. Queries must keep
+	// answering 200 mid-flood (the stats path reads atomic counters, it
+	// never contends with merges).
+	var wg sync.WaitGroup
+	for i := 0; i < tierSoakShards; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); submit(i) }(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 5; j++ {
+			for _, path := range []string{"/v1/stats", "/v1/hotpcs?n=5"} {
+				status, _ := getJSON(t, front.URL+path)
+				if status != http.StatusOK {
+					t.Errorf("%s mid-flood: status %d", path, status)
+				}
+			}
+		}
+	}()
+	wg.Wait()
+
+	mu.Lock()
+	wave1Accepted := len(acc)
+	mu.Unlock()
+	if wave1Accepted > 6 {
+		t.Fatalf("wave 1 accepted %d shards with 6 queue slots", wave1Accepted)
+	}
+	if tierSoakShards-wave1Accepted < 2*wave1Accepted {
+		t.Fatalf("flood too gentle: %d accepted, %d refused", wave1Accepted, tierSoakShards-wave1Accepted)
+	}
+
+	// Mid-flood chaos begins: aggregators start draining the backlog,
+	// then c2 is SIGKILLed (its listener dies with whatever it holds) and
+	// c1 starts a graceful drain while refused shards are still retrying.
+	for _, in := range byID {
+		in.svc.Start()
+	}
+	byID["c2"].ts.Close()
+
+	var retries sync.WaitGroup
+	for i := 0; i < tierSoakShards; i++ {
+		mu.Lock()
+		_, done := acc[i]
+		mu.Unlock()
+		if done {
+			continue
+		}
+		retries.Add(1)
+		go func(i int) {
+			defer retries.Done()
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				if got := submit(i); got.status == http.StatusAccepted {
+					return
+				}
+				if time.Now().After(deadline) {
+					t.Errorf("shard %d never accepted on retry", i)
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond)
+	byID["c1"].svc.BeginDrain() // the graceful drain begins mid-retry-flood
+	retries.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every shard now has a final outcome at a live instance or died with
+	// c2. Let c0 finish its backlog (c1's flushes below).
+	mu.Lock()
+	c0Accepted := 0
+	for _, id := range acc {
+		if id == "c0" {
+			c0Accepted++
+		}
+	}
+	mu.Unlock()
+	waitDeadline := time.Now().Add(30 * time.Second)
+	for int(byID["c0"].svc.Stats().Merged) < c0Accepted {
+		if time.Now().After(waitDeadline) {
+			t.Fatalf("c0 merged %d of %d accepted shards", byID["c0"].svc.Stats().Merged, c0Accepted)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Graceful drain of c1 completes: flush, then hand the aggregate —
+	// samples AND standing refusal losses — to the ring successor. c2 is
+	// dead, so the handoff walk must skip it and land on c0 without
+	// losing a single captured sample.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := byID["c1"].svc.Flush(ctx); err != nil {
+		t.Fatalf("c1 flush: %v", err)
+	}
+	c1Stats := byID["c1"].svc.Stats()
+	wantMigrated := c1Stats.Samples + c1Stats.Lost
+	delete(peers, "c1")
+	res, err := DrainHandoff(ctx, byID["c1"].svc, nil, "c1", peers, 0, 0, nil)
+	if err != nil {
+		t.Fatalf("c1 drain handoff: %v", err)
+	}
+	if res.Instance != "c0" {
+		t.Fatalf("handoff landed on %s, want the live instance c0", res.Instance)
+	}
+	if res.Captured != wantMigrated {
+		t.Fatalf("graceful drain lost samples: handoff ack %d, c1 held %d", res.Captured, wantMigrated)
+	}
+	byID["c1"].ts.Close() // the daemon exits after a successful handoff
+
+	// ---- the fleet-wide conservation invariant, exact ----
+	//
+	// Live instances: just c0 (holding its own shards plus c1's migrated
+	// aggregate). A (instance, shard) pair is recorded iff the shard
+	// finally merged there or its refusal loss still stands there; pairs
+	// at the SIGKILLed c2 died with it and are excluded from both sides.
+	mu.Lock()
+	var wantSum uint64
+	for i := 0; i < tierSoakShards; i++ {
+		switch acc[i] {
+		case "c0", "c1":
+			wantSum += captured(i)
+		case "c2":
+			// accepted at the killed instance: its samples are gone, and
+			// saying so (rather than silently re-counting) is the contract.
+		case "":
+			t.Errorf("shard %d has no final outcome", i)
+		}
+		for id := range refusedAt[i] {
+			if id == "c2" {
+				continue // its loss ledger died with it
+			}
+			if acc[i] == id {
+				continue // later accepted at the same instance: loss reversed
+			}
+			wantSum += captured(i)
+		}
+	}
+	mu.Unlock()
+	agg := byID["c0"].svc.Aggregate()
+	if got := agg.Samples() + agg.Lost(); got != wantSum {
+		t.Fatalf("fleet conservation violated: live Samples+Lost = %d, Σ captured over recorded (instance,shard) = %d",
+			got, wantSum)
+	}
+
+	// The router's stats rollup over reachable instances agrees, and it
+	// says out loud that the view is partial (c1 and c2 are gone).
+	status, stats := getJSON(t, front.URL+"/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats after the storm: %d", status)
+	}
+	if !stats["partial"].(bool) {
+		t.Fatal("two instances dead but the stats rollup is not marked partial")
+	}
+	fleet := stats["fleet"].(map[string]any)
+	if got := uint64(fleet["samples"].(float64) + fleet["lost"].(float64)); got != wantSum {
+		t.Fatalf("router fleet rollup %d, invariant sum %d", got, wantSum)
+	}
+	if got := uint64(fleet["handoffs_in"].(float64)); got != 1 {
+		t.Fatalf("fleet handoffs_in %d, want 1", got)
+	}
+
+	// The loss-corrected hot-PC ranking survives losing an instance and
+	// draining another: ≥ 8/10 overlap with the single-instance baseline,
+	// read through the router like any client would.
+	status, hot := getJSON(t, front.URL+"/v1/hotpcs?n=10")
+	if status != http.StatusOK {
+		t.Fatalf("hotpcs after the storm: %d", status)
+	}
+	if !hot["partial"].(bool) {
+		t.Fatal("hotpcs not marked partial with instances missing")
+	}
+	baseSet := topPCSet(baselineTop)
+	overlap := 0
+	for _, row := range hot["pcs"].([]any) {
+		pcStr := row.(map[string]any)["pc"].(string)
+		pc, err := strconv.ParseUint(pcStr, 0, 64)
+		if err != nil {
+			t.Fatalf("bad pc %q in tier response: %v", pcStr, err)
+		}
+		if baseSet[pc] {
+			overlap++
+		}
+	}
+	if overlap < 8 {
+		t.Fatalf("top-10 hot-PC overlap %d/10 after kill+drain, want >= 8", overlap)
+	}
+}

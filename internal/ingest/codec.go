@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 
 	"profileme/internal/profile"
 )
@@ -66,4 +67,63 @@ func DecodeSubmit(body []byte) (Submission, error) {
 		return Submission{}, fmt.Errorf("ingest: submission %q: %w", env.Shard, err)
 	}
 	return Submission{Shard: env.Shard, DB: db}, nil
+}
+
+// The drain-handoff wire format reuses the same double-envelope layering
+// as submissions: the donor's whole aggregate rides as profile.Save
+// bytes (inner CRC32-C, version field), wrapped in JSON naming the donor
+// instance and the shard ids its admission ledger holds. Shipping the
+// ledger is what keeps the tier's dedupe honest across a drain: a client
+// retrying a shard the donor already merged hits the successor next, and
+// the successor must answer "duplicate", not merge it twice.
+type handoffEnvelope struct {
+	From    string   `json:"from"`
+	Profile []byte   `json:"profile"`
+	Shards  []string `json:"shards"`
+}
+
+// Handoff is one decoded drain handoff: a donor instance's full
+// aggregate plus its admitted-shard ledger.
+type Handoff struct {
+	// From is the donor's instance id (ledger provenance).
+	From string
+	// DB is the donor's aggregate, loss ledger included.
+	DB *profile.DB
+	// Shards are the shard ids the donor had admitted (queued or
+	// merged); the receiver marks them admitted so retries dedupe.
+	Shards []string
+}
+
+// EncodeHandoff serializes a donor aggregate for shipment to the ring
+// successor. save is the donor's serializer (SafeDB.Save) so the CRC
+// envelope is written under the aggregate's own lock.
+func EncodeHandoff(from string, save func(io.Writer) error, shards []string) ([]byte, error) {
+	if from == "" {
+		return nil, fmt.Errorf("ingest: encode handoff: empty instance id: %w", ErrBadSubmit)
+	}
+	var buf bytes.Buffer
+	if err := save(&buf); err != nil {
+		return nil, err
+	}
+	return json.Marshal(handoffEnvelope{From: from, Profile: buf.Bytes(), Shards: shards})
+}
+
+// DecodeHandoff parses a handoff body with the same typed-failure
+// contract as DecodeSubmit.
+func DecodeHandoff(body []byte) (Handoff, error) {
+	var env handoffEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return Handoff{}, fmt.Errorf("ingest: handoff envelope: %v: %w", err, ErrBadSubmit)
+	}
+	if env.From == "" {
+		return Handoff{}, fmt.Errorf("ingest: handoff without a donor instance id: %w", ErrBadSubmit)
+	}
+	if len(env.Profile) == 0 {
+		return Handoff{}, fmt.Errorf("ingest: handoff from %q without a profile payload: %w", env.From, ErrBadSubmit)
+	}
+	db, err := profile.LoadDB(bytes.NewReader(env.Profile))
+	if err != nil {
+		return Handoff{}, fmt.Errorf("ingest: handoff from %q: %w", env.From, err)
+	}
+	return Handoff{From: env.From, DB: db, Shards: env.Shards}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,10 @@ var (
 	// duplicate marker), so a client retrying after a lost response
 	// cannot double-count its samples.
 	ErrDuplicate = errors.New("ingest: duplicate shard submission")
+	// ErrHandedOff: this instance already shipped its aggregate to its
+	// ring successor; accepting anything afterwards would strand samples
+	// outside the fleet-wide conservation sum.
+	ErrHandedOff = errors.New("ingest: aggregate already handed off")
 )
 
 // Config parameterizes a Service. Zero values get usable defaults.
@@ -122,6 +127,15 @@ type Stats struct {
 	CheckpointFailures uint64 `json:"checkpoint_failures"`
 	CheckpointShorted  uint64 `json:"checkpoint_short_circuited"`
 
+	// Handoff accounting: HandoffsIn counts donor aggregates merged into
+	// this instance during peer drains, HandoffCaptured their total
+	// captured samples (delivered + lost) — the amount of fleet-wide
+	// accounting that migrated here. HandedOff flips when THIS instance
+	// shipped its aggregate away.
+	HandoffsIn      uint64 `json:"handoffs_in"`
+	HandoffCaptured uint64 `json:"handoff_captured"`
+	HandedOff       bool   `json:"handed_off"`
+
 	Draining bool `json:"draining"`
 
 	// Aggregate rollup.
@@ -144,22 +158,25 @@ type Service struct {
 	wantW, wantC int
 	wantTNear    int64
 
-	draining atomic.Bool
-	started  atomic.Bool
-	done     chan struct{}
+	draining  atomic.Bool
+	started   atomic.Bool
+	handedOff atomic.Bool
+	done      chan struct{}
 
-	mu        sync.Mutex
-	merged    uint64
-	mergeFail uint64
-	rejected  uint64
-	dropped   uint64
-	dupes     uint64
-	lostSamp  uint64
-	lostRev   uint64
-	ckptOK    uint64
-	ckptFail  uint64
-	ckptShort uint64
-	sinceCkpt int
+	mu          sync.Mutex
+	merged      uint64
+	mergeFail   uint64
+	rejected    uint64
+	dropped     uint64
+	dupes       uint64
+	lostSamp    uint64
+	lostRev     uint64
+	ckptOK      uint64
+	ckptFail    uint64
+	ckptShort   uint64
+	handoffsIn  uint64
+	handoffCapt uint64
+	sinceCkpt   int
 
 	// Shard admission ledger (guarded by mu). admitted holds shard ids
 	// that are queued or merged — a resubmission dedupes to ErrDuplicate
@@ -172,6 +189,11 @@ type Service struct {
 	// which a campaign bounds by benchmarks × shards.
 	admitted    map[string]bool
 	refusedLoss map[string]uint64
+	// handoffFrom records ledger provenance: shard ids admitted here not
+	// by direct submission but because a draining peer handed its ledger
+	// over — the reason a retry of a donor-merged shard dedupes at the
+	// successor instead of double-merging across a drain failover.
+	handoffFrom map[string]string
 }
 
 // NewService builds a service. seed, when non-nil, becomes the aggregate
@@ -196,6 +218,7 @@ func NewService(cfg Config, seed *profile.DB) (*Service, error) {
 		done:        make(chan struct{}),
 		admitted:    make(map[string]bool),
 		refusedLoss: make(map[string]uint64),
+		handoffFrom: make(map[string]string),
 	}
 	s.wantS, s.wantW, s.wantC, s.wantTNear = s.agg.SamplingConfig()
 	if s.cfg.persist == nil {
@@ -402,12 +425,13 @@ func (s *Service) BeginDrain() {
 	s.draining.Store(true)
 }
 
-// Drain completes the graceful-shutdown sequence: stop admission, flush
-// the queued backlog through the aggregator, then write the final
-// checkpoint — bypassing the breaker, because this is the last chance to
-// persist and a stale open state must not discard the run. Returns when
-// the aggregate is fully merged and durable (or ctx expires).
-func (s *Service) Drain(ctx context.Context) error {
+// Flush is the first half of the graceful-shutdown sequence: stop
+// admission and run the queued backlog through the aggregator, without
+// persisting. It exists as its own step because a clustered drain must
+// interpose between flush and final checkpoint: the fully-merged
+// aggregate is handed to the ring successor, and only if that fails is
+// the local FinalCheckpoint the fallback durability path.
+func (s *Service) Flush(ctx context.Context) error {
 	s.BeginDrain()
 	s.q.Close()
 	if s.started.Load() {
@@ -426,6 +450,13 @@ func (s *Service) Drain(ctx context.Context) error {
 			s.merge(sub)
 		}
 	}
+	return nil
+}
+
+// FinalCheckpoint writes the last persist of a drain, bypassing the
+// breaker: at shutdown durability outranks availability and a stale
+// open state must not discard the run. No-op without a checkpoint path.
+func (s *Service) FinalCheckpoint() error {
 	if s.cfg.CheckpointPath == "" {
 		return nil
 	}
@@ -435,9 +466,108 @@ func (s *Service) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.ckptOK++
 	s.mu.Unlock()
-	s.logf("drained: %d samples aggregated, %d lost (%.1f%% loss), final checkpoint at %s",
-		s.agg.Samples(), s.agg.Lost(), 100*s.agg.LossRate(), s.cfg.CheckpointPath)
 	return nil
+}
+
+// Drain completes the graceful-shutdown sequence: stop admission, flush
+// the queued backlog through the aggregator, then write the final
+// checkpoint. Returns when the aggregate is fully merged and durable
+// (or ctx expires).
+func (s *Service) Drain(ctx context.Context) error {
+	if err := s.Flush(ctx); err != nil {
+		return err
+	}
+	if err := s.FinalCheckpoint(); err != nil {
+		return err
+	}
+	if s.cfg.CheckpointPath != "" {
+		s.logf("drained: %d samples aggregated, %d lost (%.1f%% loss), final checkpoint at %s",
+			s.agg.Samples(), s.agg.Lost(), 100*s.agg.LossRate(), s.cfg.CheckpointPath)
+	}
+	return nil
+}
+
+// AcceptHandoff merges a draining peer's aggregate and admission ledger
+// into this instance — the tier's zero-loss rolling-restart path. The
+// donor's shard ids join the admitted ledger (with provenance) BEFORE
+// the merge, so a client retry racing the handoff dedupes instead of
+// double-merging; the donor's loss ledger rides inside its DB, keeping
+// the fleet-wide conservation sum intact. Returns the captured total
+// (delivered + lost) that migrated. A draining or already-handed-off
+// receiver refuses: the donor must walk to the next ring successor.
+func (s *Service) AcceptHandoff(h Handoff) (captured uint64, err error) {
+	if s.handedOff.Load() {
+		return 0, ErrHandedOff
+	}
+	if s.draining.Load() {
+		return 0, ErrDraining
+	}
+	if err := s.compatible(h.DB); err != nil {
+		return 0, err
+	}
+	captured = h.DB.Samples() + h.DB.Lost()
+	s.mu.Lock()
+	for _, sh := range h.Shards {
+		if !s.admitted[sh] {
+			s.admitted[sh] = true
+			s.handoffFrom[sh] = h.From
+		}
+	}
+	s.handoffsIn++
+	s.handoffCapt += captured
+	s.mu.Unlock()
+	if err := s.agg.Merge(h.DB); err != nil {
+		// Past the config screen a merge failure is metric-set skew:
+		// conserve by accounting the donor's whole captured population as
+		// loss rather than silently dropping it from the fleet sum.
+		s.agg.RecordLoss(captured)
+		s.mu.Lock()
+		s.mergeFail++
+		s.lostSamp += captured
+		s.mu.Unlock()
+		return 0, fmt.Errorf("ingest: handoff from %s unmergeable (accounted as loss): %w", h.From, err)
+	}
+	s.logf("handoff from %s: %d captured samples (%d shards) merged", h.From, captured, len(h.Shards))
+	s.mu.Lock()
+	s.sinceCkpt++
+	due := s.cfg.CheckpointPath != "" && s.sinceCkpt >= s.cfg.CheckpointEvery
+	s.mu.Unlock()
+	if due {
+		s.checkpoint()
+	}
+	return captured, nil
+}
+
+// MarkHandedOff records that this instance's aggregate has been shipped
+// to its ring successor; Stats report it and the daemon skips the final
+// checkpoint (a restart from it would double-count the migrated
+// samples).
+func (s *Service) MarkHandedOff() { s.handedOff.Store(true) }
+
+// HandedOff reports whether the aggregate has been handed off.
+func (s *Service) HandedOff() bool { return s.handedOff.Load() }
+
+// AdmittedShards returns the shard ids currently admitted (queued or
+// merged), sorted — the ledger a drain handoff ships so the successor
+// keeps deduping the donor's shards.
+func (s *Service) AdmittedShards() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.admitted))
+	for sh := range s.admitted {
+		out = append(out, sh)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HandoffProvenance reports which donor instance a shard id arrived
+// from via drain handoff ("" when the shard was submitted directly or
+// is unknown).
+func (s *Service) HandoffProvenance(shard string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.handoffFrom[shard]
 }
 
 // Stats returns a snapshot of every counter the service keeps.
@@ -454,14 +584,21 @@ func (s *Service) Stats() Stats {
 		Checkpoints:        s.ckptOK,
 		CheckpointFailures: s.ckptFail,
 		CheckpointShorted:  s.ckptShort,
+		HandoffsIn:         s.handoffsIn,
+		HandoffCaptured:    s.handoffCapt,
 	}
 	s.mu.Unlock()
 	st.Queue = s.q.Stats()
 	st.Breaker = s.brk.Stats()
 	st.Draining = s.draining.Load()
-	st.Samples = s.agg.Samples()
-	st.Lost = s.agg.Lost()
-	st.LossRate = s.agg.LossRate()
+	st.HandedOff = s.handedOff.Load()
+	// One counters snapshot (single RLock, no deep copy) instead of three
+	// separate aggregate reads: stats polls must never contend with
+	// merges under flood.
+	c := s.agg.CountersSnapshot()
+	st.Samples = c.Samples
+	st.Lost = c.Lost
+	st.LossRate = c.LossRate
 	return st
 }
 

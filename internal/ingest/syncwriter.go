@@ -1,0 +1,30 @@
+package ingest
+
+import (
+	"io"
+	"sync"
+)
+
+// SyncWriter serializes writes to an underlying writer. The collector
+// stack logs from many goroutines (admission handlers, the aggregator,
+// the HTTP layer, the router's probe loop), and under a soak flood the
+// per-line Fprintf calls interleave mid-line on a shared stderr; every
+// component of one process should share a single SyncWriter so each
+// logged line comes out whole and attributable.
+type SyncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSyncWriter wraps w; a nil w yields a writer that discards.
+func NewSyncWriter(w io.Writer) *SyncWriter { return &SyncWriter{w: w} }
+
+// Write forwards one write under the mutex.
+func (s *SyncWriter) Write(p []byte) (int, error) {
+	if s.w == nil {
+		return len(p), nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

@@ -103,6 +103,32 @@ func (s *SafeDB) LossRate() float64 {
 	return s.db.LossRate()
 }
 
+// Counters is the cheap whole-aggregate rollup: plain totals, no per-PC
+// state.
+type Counters struct {
+	Samples         uint64
+	Pairs           uint64
+	Lost            uint64
+	CorruptRejected uint64
+	LossRate        float64
+}
+
+// CountersSnapshot returns every scalar counter under one read lock and
+// with no deep copies — the read path for /v1/stats and readiness
+// polls, which must stay O(1) and never contend with merges the way the
+// per-PC snapshot methods (HotPCs, Get) necessarily do.
+func (s *SafeDB) CountersSnapshot() Counters {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Counters{
+		Samples:         s.db.Samples(),
+		Pairs:           s.db.Pairs(),
+		Lost:            s.db.Lost(),
+		CorruptRejected: s.db.CorruptRejected(),
+		LossRate:        s.db.LossRate(),
+	}
+}
+
 // EstimatedCount estimates how many times pc was fetched, loss-corrected.
 func (s *SafeDB) EstimatedCount(pc uint64) float64 {
 	s.mu.RLock()

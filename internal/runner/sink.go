@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"profileme/internal/ingest"
@@ -64,38 +66,88 @@ func (e *SubmitError) Transient() bool {
 	}
 }
 
-// HTTPSink posts shard profiles to a pmsimd collector's /v1/submit.
+// HTTPSink posts shard profiles to a collector's /v1/submit — a single
+// pmsimd, or a pmrouter fronting the sharded tier. Extra URLs are
+// transport-level fallbacks: when the current endpoint is unreachable
+// (the request never completes), Submit tries the next in the same call
+// and then sticks with whichever answered. Considered refusals
+// (429/503 backpressure, 4xx) are NOT failed over — those are the
+// collector's admission policy speaking, and the fleet's backoff loop
+// already honors them against the same endpoint.
+//
+// Fallbacks must front the same admission-ledger domain (a second
+// router over the same tier, or a replica of the same collector):
+// endpoints with independent ledgers would merge a retried shard twice.
 type HTTPSink struct {
-	// BaseURL is the collector root, e.g. "http://localhost:7070".
-	BaseURL string
+	// BaseURLs are the collector roots in preference order, e.g.
+	// ["http://router-a:7000", "http://router-b:7000"].
+	BaseURLs []string
 	// Client defaults to a 30s-timeout client.
 	Client *http.Client
+
+	mu      sync.Mutex
+	current int // index of the endpoint that last worked
 }
 
-// NewHTTPSink builds a sink for the collector at baseURL.
-func NewHTTPSink(baseURL string) *HTTPSink {
+// NewHTTPSink builds a sink for the collector at baseURL, with optional
+// transport-failover fallbacks.
+func NewHTTPSink(baseURL string, fallbacks ...string) *HTTPSink {
+	urls := []string{strings.TrimRight(baseURL, "/")}
+	for _, u := range fallbacks {
+		urls = append(urls, strings.TrimRight(u, "/"))
+	}
 	return &HTTPSink{
-		BaseURL: strings.TrimRight(baseURL, "/"),
-		Client:  &http.Client{Timeout: 30 * time.Second},
+		BaseURLs: urls,
+		Client:   &http.Client{Timeout: 30 * time.Second},
 	}
 }
 
-// Submit posts one shard. Non-202 responses come back as *SubmitError
-// with the collector's status and error kind.
+// Submit posts one shard, failing over across BaseURLs on transport
+// errors. Non-202 responses come back as *SubmitError with the
+// collector's status and error kind.
 func (s *HTTPSink) Submit(ctx context.Context, shard string, db *profile.DB) error {
 	body, err := ingest.EncodeSubmit(shard, db)
 	if err != nil {
 		return fmt.Errorf("runner: encode shard %s: %w", shard, err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.BaseURL+"/v1/submit", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("runner: shard submission request: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
 	client := s.Client
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
+	s.mu.Lock()
+	start := s.current
+	s.mu.Unlock()
+	n := len(s.BaseURLs)
+	if n == 0 {
+		return fmt.Errorf("runner: sink has no collector URL")
+	}
+	var lastErr error
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		err := s.submitTo(ctx, client, s.BaseURLs[idx], body)
+		var se *SubmitError
+		if errors.As(err, &se) && se.Status == 0 && ctx.Err() == nil {
+			// Endpoint unreachable: try the next one now rather than
+			// burning a whole backoff attempt on a dead address.
+			lastErr = err
+			continue
+		}
+		if err == nil && idx != start {
+			s.mu.Lock()
+			s.current = idx
+			s.mu.Unlock()
+		}
+		return err
+	}
+	return lastErr
+}
+
+func (s *HTTPSink) submitTo(ctx context.Context, client *http.Client, baseURL string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/submit", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("runner: shard submission request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
 		return &SubmitError{Status: 0, Msg: err.Error()}

@@ -199,3 +199,78 @@ func TestHTTPSinkAgainstService(t *testing.T) {
 		t.Fatalf("unreachable collector: %v, want transient transport SubmitError", err)
 	}
 }
+
+// TestHTTPSinkTransportFailover: only transport failures (the request
+// never completed) move the sink to the next BaseURL — within the same
+// Submit call, and sticky for the calls after it. Considered refusals
+// (429/503/4xx) are the collector's admission policy and must stay with
+// the endpoint that issued them.
+func TestHTTPSinkTransportFailover(t *testing.T) {
+	db := profile.NewDB(512, 0, cpu.DefaultConfig().SustainedIssueWidth)
+	accept := func(hits *int) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			*hits++
+			w.WriteHeader(http.StatusAccepted)
+			w.Write([]byte(`{"shard":"x"}`))
+		})
+	}
+
+	// Primary dies before the first submit; the fallback answers.
+	var fallbackHits int
+	primary := httptest.NewServer(http.NotFoundHandler())
+	deadURL := primary.URL
+	primary.Close()
+	fallback := httptest.NewServer(accept(&fallbackHits))
+	defer fallback.Close()
+
+	sink := NewHTTPSink(deadURL, fallback.URL)
+	if err := sink.Submit(context.Background(), "a", db); err != nil {
+		t.Fatalf("submit with live fallback: %v", err)
+	}
+	if fallbackHits != 1 {
+		t.Fatalf("fallback served %d submits, want 1", fallbackHits)
+	}
+	// Sticky: the next submit goes straight to the endpoint that worked
+	// instead of re-dialing the dead primary every call.
+	if err := sink.Submit(context.Background(), "b", db); err != nil {
+		t.Fatalf("second submit: %v", err)
+	}
+	if fallbackHits != 2 {
+		t.Fatalf("fallback served %d submits after sticky failover, want 2", fallbackHits)
+	}
+	sink.mu.Lock()
+	current := sink.current
+	sink.mu.Unlock()
+	if current != 1 {
+		t.Fatalf("sink current endpoint %d, want 1 (the fallback)", current)
+	}
+
+	// A considered refusal is returned to the caller, not failed over:
+	// the healthy fallback must never see the shard.
+	var healthyHits int
+	refusing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"queue full","kind":"queue-full"}`))
+	}))
+	defer refusing.Close()
+	healthy := httptest.NewServer(accept(&healthyHits))
+	defer healthy.Close()
+
+	refused := NewHTTPSink(refusing.URL, healthy.URL)
+	err := refused.Submit(context.Background(), "c", db)
+	var se *SubmitError
+	if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests || se.Kind != "queue-full" {
+		t.Fatalf("backpressured submit: %v, want 429 queue-full SubmitError", err)
+	}
+	if healthyHits != 0 {
+		t.Fatalf("429 backpressure failed over to the fallback (%d hits); refusals must stick", healthyHits)
+	}
+
+	// Every endpoint unreachable: the transport error surfaces as
+	// transient, so the fleet's backoff loop retries the whole list.
+	allDead := NewHTTPSink(deadURL, "http://127.0.0.1:1")
+	err = allDead.Submit(context.Background(), "d", db)
+	if !errors.As(err, &se) || se.Status != 0 || !se.Transient() {
+		t.Fatalf("all endpoints dead: %v, want transient transport SubmitError", err)
+	}
+}

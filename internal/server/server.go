@@ -25,6 +25,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,9 +36,16 @@ import (
 
 // Config parameterizes the HTTP layer. Zero values get usable defaults.
 type Config struct {
+	// Instance is this collector's tier identity ("c0"); it prefixes
+	// every log line (so interleaved tier soak output stays
+	// attributable) and rides in /v1/stats.
+	Instance string
 	// MaxBodyBytes bounds a submission body (default 8 MiB); larger
 	// bodies get 413 before the decoder sees them.
 	MaxBodyBytes int64
+	// MaxHandoffBytes bounds a drain-handoff body (default 8×
+	// MaxBodyBytes): a donor ships its whole aggregate, not one shard.
+	MaxHandoffBytes int64
 	// QueryDeadline bounds each query's handling time (default 2s).
 	QueryDeadline time.Duration
 	// MaxQueries is the query concurrency high-water mark (default 32):
@@ -47,12 +55,18 @@ type Config struct {
 	// RetryAfter is the hint returned with 429/503 (default 1s).
 	RetryAfter time.Duration
 	// Log receives request-level degradation lines (nil = silent).
+	// Writes go through the server's own mutex, one whole line at a
+	// time; share one ingest.SyncWriter with the service when both log
+	// to the same stream.
 	Log io.Writer
 }
 
 func (c *Config) normalize() {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxHandoffBytes == 0 {
+		c.MaxHandoffBytes = 8 * c.MaxBodyBytes
 	}
 	if c.QueryDeadline == 0 {
 		c.QueryDeadline = 2 * time.Second
@@ -70,10 +84,13 @@ type Server struct {
 	cfg Config
 	svc *ingest.Service
 
+	logMu sync.Mutex
+
 	inFlight     atomic.Int64 // queries currently being served
 	queriesShed  atomic.Uint64
 	queriesTotal atomic.Uint64
 	submits      atomic.Uint64
+	handoffs     atomic.Uint64
 }
 
 // New builds a Server over an ingest service.
@@ -86,6 +103,7 @@ func New(cfg Config, svc *ingest.Service) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/submit", s.handleSubmit)
+	mux.HandleFunc("/v1/handoff", s.handleHandoff)
 	mux.HandleFunc("/v1/hotpcs", s.query(s.handleHotPCs))
 	mux.HandleFunc("/v1/estimate", s.query(s.handleEstimate))
 	mux.HandleFunc("/v1/report", s.query(s.handleReport))
@@ -179,6 +197,62 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			"shard":       sub.Shard,
 			"samples":     sub.DB.Samples(),
 			"queue_depth": s.svc.QueueDepth(),
+		})
+	}
+}
+
+// handleHandoff is the drain-handoff edge: a draining peer ships its
+// whole aggregate (CRC envelope) plus its admission ledger, and this
+// instance inherits both, so a rolling restart loses zero accumulated
+// samples and retries of the donor's shards keep deduping here. The
+// refusal taxonomy mirrors submission: 400 damaged, 409 unmergeable
+// configuration, 503 when this instance is itself draining or already
+// handed off (the donor walks on to the next ring successor).
+func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, "method", "POST only")
+		return
+	}
+	s.handoffs.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxHandoffBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeErr(w, http.StatusRequestEntityTooLarge, "oversized",
+				fmt.Sprintf("handoff body exceeds %d bytes", s.cfg.MaxHandoffBytes))
+			return
+		}
+		s.writeErr(w, http.StatusBadRequest, "body", err.Error())
+		return
+	}
+	h, err := ingest.DecodeHandoff(body)
+	if err != nil {
+		kind := "malformed"
+		switch {
+		case errors.Is(err, profile.ErrCorrupt):
+			kind = "corrupt"
+		case errors.Is(err, profile.ErrTruncated):
+			kind = "truncated"
+		case errors.Is(err, profile.ErrVersionSkew):
+			kind = "version-skew"
+		}
+		s.writeErr(w, http.StatusBadRequest, kind, err.Error())
+		return
+	}
+	switch captured, err := s.svc.AcceptHandoff(h); {
+	case errors.Is(err, ingest.ErrDraining), errors.Is(err, ingest.ErrHandedOff):
+		s.logf("503 handoff from %s: this instance is retiring too (%v)", h.From, err)
+		s.writeErr(w, http.StatusServiceUnavailable, "draining", err.Error())
+	case errors.Is(err, ingest.ErrConfigMismatch):
+		s.writeErr(w, http.StatusConflict, "config-mismatch", err.Error())
+	case err != nil:
+		s.writeErr(w, http.StatusInternalServerError, "internal", err.Error())
+	default:
+		s.logf("handoff from %s accepted: %d captured samples, %d ledger shards", h.From, captured, len(h.Shards))
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"from":     h.From,
+			"captured": captured,
+			"shards":   len(h.Shards),
 		})
 	}
 }
@@ -339,19 +413,23 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 // serverStats augments the ingest stats with HTTP-layer counters.
 type serverStats struct {
 	ingest.Stats
-	Submissions uint64 `json:"submissions"`
-	Queries     uint64 `json:"queries"`
-	QueriesShed uint64 `json:"queries_shed"`
-	InFlight    int64  `json:"queries_in_flight"`
+	Instance        string `json:"instance,omitempty"`
+	Submissions     uint64 `json:"submissions"`
+	HandoffRequests uint64 `json:"handoff_requests"`
+	Queries         uint64 `json:"queries"`
+	QueriesShed     uint64 `json:"queries_shed"`
+	InFlight        int64  `json:"queries_in_flight"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, serverStats{
-		Stats:       s.svc.Stats(),
-		Submissions: s.submits.Load(),
-		Queries:     s.queriesTotal.Load(),
-		QueriesShed: s.queriesShed.Load(),
-		InFlight:    s.inFlight.Load(),
+		Stats:           s.svc.Stats(),
+		Instance:        s.cfg.Instance,
+		Submissions:     s.submits.Load(),
+		HandoffRequests: s.handoffs.Load(),
+		Queries:         s.queriesTotal.Load(),
+		QueriesShed:     s.queriesShed.Load(),
+		InFlight:        s.inFlight.Load(),
 	})
 }
 
@@ -385,9 +463,18 @@ func intParam(r *http.Request, name string, def int) int {
 	return n
 }
 
+// logf writes one whole degradation line under the server's log mutex,
+// tagged with the instance id: tier soaks run several instances against
+// one stderr, and untagged, interleaved fragments are unattributable.
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Log == nil {
 		return
 	}
-	fmt.Fprintf(s.cfg.Log, "server: "+format+"\n", args...)
+	prefix := "server: "
+	if s.cfg.Instance != "" {
+		prefix = "server[" + s.cfg.Instance + "]: "
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	fmt.Fprintf(s.cfg.Log, prefix+format+"\n", args...)
 }
