@@ -16,7 +16,13 @@
 //     instead of an all-or-nothing 504.
 //   - A background probe loop watches each instance's /readyz, so a
 //     SIGKILL'd instance stops receiving traffic within a probe period
-//     and a recovered one rejoins automatically.
+//     and a recovered one rejoins automatically; an instance whose WAL
+//     has stalled reports 503 wal-stalled and is degraded the same way.
+//   - With -witness, every accepted submission is also copied to the
+//     shard's ring successor as a witness; a periodic anti-entropy
+//     sweep (-anti-entropy-every) reconciles witness ledgers against
+//     live instances, so an instance that loses its disk entirely can
+//     be rebuilt from its peers' copies.
 //
 // Example (3-instance tier):
 //
@@ -72,6 +78,9 @@ func run() int {
 		failures  = flag.Int("failure-threshold", 3, "consecutive transport failures that mark an instance down")
 		probeEach = flag.Duration("probe-every", 2*time.Second, "active /readyz probe period (0 disables)")
 		maxBody   = flag.Int64("max-body", 8<<20, "submission body size limit in bytes")
+
+		witness = flag.Bool("witness", false, "replicate accepted submissions to the shard's ring successor as witness copies")
+		aeEach  = flag.Duration("anti-entropy-every", 0, "witness anti-entropy sweep period (0 disables; requires -witness)")
 	)
 	flag.Parse()
 
@@ -89,6 +98,7 @@ func run() int {
 		HedgeDelay:       *hedge,
 		FailureThreshold: *failures,
 		MaxBodyBytes:     *maxBody,
+		Witness:          *witness,
 		Log:              logw,
 	})
 	if err != nil {
@@ -124,6 +134,29 @@ func run() int {
 		}()
 	}
 
+	if *aeEach > 0 {
+		if !*witness {
+			fmt.Fprintln(os.Stderr, "pmrouter: -anti-entropy-every requires -witness")
+			return 2
+		}
+		go func() {
+			ticker := time.NewTicker(*aeEach)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					rep := rt.AntiEntropy(ctx)
+					if rep.Resubmitted > 0 || rep.Errors > 0 {
+						fmt.Fprintf(logw, "pmrouter: anti-entropy: %d resubmitted, %d pruned, %d errors\n",
+							rep.Resubmitted, rep.Pruned, rep.Errors)
+					}
+				}
+			}
+		}()
+	}
+
 	httpSrv := &http.Server{Handler: rt.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -140,6 +173,10 @@ func run() int {
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "pmrouter: shutdown:", err)
 	}
+	// Let any in-flight witness forwards land before reporting; copies
+	// that were still queued when the socket closed are the anti-entropy
+	// sweep's job next time the tier runs.
+	rt.WitnessFlush()
 	st := rt.Stats()
 	fmt.Printf("pmrouter: exiting: %d submissions routed, %d failovers, %d hedges, %d partial responses\n",
 		st.Submits, st.Failovers, st.Hedges, st.PartialsServed)

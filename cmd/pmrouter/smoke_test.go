@@ -24,11 +24,15 @@ import (
 
 // The tier smoke runs the real thing: two pmsimd collector processes
 // (built from this module) fronted by a real pmrouter process (this test
-// binary re-execed). One collector is SIGKILLed — the router must serve
-// explicit partial results and fail submissions over — then restarted at
-// the same address, after which the probe loop revives it and full
-// results return. Finally the surviving peer is SIGTERMed and must hand
-// its aggregate to the restarted instance, losing zero samples.
+// binary re-execed). One collector — running a WAL — is SIGKILLed; the
+// router must serve explicit partial results and fail submissions over.
+// The collector is then restarted at the same address with the same WAL
+// dir, and must recover EVERYTHING it acknowledged before the kill:
+// retries of its shards dedupe to 202+duplicate, and the final fleet
+// rollup reproduces Σ captured over every distinct shard exactly — the
+// kill is not allowed to destroy a single acknowledged sample. Finally
+// the surviving peer is SIGTERMed and must hand its aggregate to the
+// restarted instance, losing zero samples.
 
 const (
 	smokeHelperEnv = "PMROUTER_SMOKE_HELPER"
@@ -167,9 +171,14 @@ func TestTierSmoke(t *testing.T) {
 		t.Fatalf("building pmsimd: %v\n%s", err, out)
 	}
 
-	// Process 1: collector c0 (will be SIGKILLed and restarted).
-	d0 := startDaemon(t, "pmsimd: listening on ", env, pmsimd,
-		"-addr", "127.0.0.1:0", "-instance", "c0", "-interval", "16", "-queue", "64")
+	// Process 1: collector c0 (will be SIGKILLed and restarted). It runs
+	// a WAL + checkpoint so the kill destroys nothing it acknowledged.
+	c0Args := []string{
+		"-addr", "127.0.0.1:0", "-instance", "c0", "-interval", "16", "-queue", "64",
+		"-wal-dir", filepath.Join(dir, "wal0"),
+		"-checkpoint", filepath.Join(dir, "agg0.db"), "-checkpoint-every", "2",
+	}
+	d0 := startDaemon(t, "pmsimd: listening on ", env, append([]string{pmsimd}, c0Args...)...)
 	url0 := "http://" + d0.addr
 
 	// Process 2: collector c1, with c0 as its drain-handoff peer.
@@ -202,14 +211,17 @@ func TestTierSmoke(t *testing.T) {
 	}
 
 	// Submit three shards per instance through the router; all must land
-	// on their ring owner.
+	// on their ring owner. Keep the exact payloads around so post-crash
+	// retries can be replayed bit-identically.
 	captured := map[string]uint64{}
+	payload := map[string]*profile.DB{}
 	seed := uint64(1)
 	for owner, ss := range shardsOf {
 		for _, s := range ss {
 			db := smokeShard(seed, 40+int(seed))
 			seed++
 			captured[s] = db.Samples() + db.Lost()
+			payload[s] = db
 			got, err := smokeSubmit(t, front, s, db)
 			if err != nil || got.status != http.StatusAccepted {
 				t.Fatalf("submit %s: %v status %d", s, err, got.status)
@@ -267,9 +279,24 @@ func TestTierSmoke(t *testing.T) {
 	}
 
 	// Recovery: restart c0 at the SAME address (its ring identity and its
-	// peers' -peers flags both point there); the probe loop revives it.
-	d0 = startDaemon(t, "pmsimd: listening on ", env, pmsimd,
-		"-addr", d0.addr, "-instance", "c0", "-interval", "16", "-queue", "64")
+	// peers' -peers flags both point there) with the SAME WAL dir and
+	// checkpoint, so everything it acknowledged before the kill is
+	// replayed; the probe loop revives it.
+	restartArgs := append([]string{}, c0Args...)
+	restartArgs[1] = d0.addr // pin the original address
+	d0 = startDaemon(t, "pmsimd: listening on ", env, append([]string{pmsimd}, restartArgs...)...)
+
+	// Post-crash dedupe: retrying a shard c0 acknowledged before the kill
+	// must come back 202 with duplicate=true — the admission ledger
+	// survived the SIGKILL via checkpoint+WAL replay.
+	retry := shardsOf["c0"][0]
+	got, err := smokeSubmit(t, "http://"+d0.addr, retry, payload[retry])
+	if err != nil || got.status != http.StatusAccepted {
+		t.Fatalf("post-crash retry of %s: %v status %d", retry, err, got.status)
+	}
+	if !got.Duplicate {
+		t.Fatalf("post-crash retry of %s was not deduplicated: %+v (WAL replay lost the admission ledger)", retry, got)
+	}
 	for {
 		status, hot, err = smokeGet(t, front+"/v1/hotpcs?n=5")
 		if err == nil && status == http.StatusOK && !hot["partial"].(bool) {
@@ -282,13 +309,14 @@ func TestTierSmoke(t *testing.T) {
 	}
 
 	// Graceful drain of c1: SIGTERM → flush → handoff to its ring peer
-	// c0 → clean exit, no samples lost. c1 held its three original
-	// shards plus the failover shard; all of it must migrate to c0.
-	var wantMigrated uint64
-	for _, s := range shardsOf["c1"] {
-		wantMigrated += captured[s]
+	// c0 → clean exit, no samples lost. After the drain the fleet is c0
+	// alone, holding its own WAL-recovered shards plus everything c1
+	// migrated — i.e. every sample ever acknowledged by the tier. The
+	// conservation check is exact: the SIGKILL destroyed nothing.
+	var wantTotal uint64
+	for _, c := range captured {
+		wantTotal += c
 	}
-	wantMigrated += captured[failoverShard]
 	if err := d1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
@@ -306,19 +334,20 @@ func TestTierSmoke(t *testing.T) {
 		t.Fatalf("c1 drain did not hand off to c0:\n%s", out)
 	}
 
-	// The restarted c0 now carries c1's whole aggregate; the router's
-	// fleet rollup (partial: c1 is gone) proves zero handed-off loss.
+	// The restarted c0 now carries its own recovered shards plus c1's
+	// whole aggregate; the router's fleet rollup (partial: c1 is gone)
+	// must reproduce Σ captured over every distinct shard exactly.
 	for {
 		status, stats, err := smokeGet(t, front+"/v1/stats")
 		if err == nil && status == http.StatusOK {
 			fleet := stats["fleet"].(map[string]any)
 			if uint64(fleet["handoffs_in"].(float64)) == 1 &&
-				uint64(fleet["samples"].(float64)+fleet["lost"].(float64)) == wantMigrated {
+				uint64(fleet["samples"].(float64)+fleet["lost"].(float64)) == wantTotal {
 				break
 			}
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("fleet rollup never showed the migrated aggregate (want %d captured)", wantMigrated)
+			t.Fatalf("fleet rollup never reached exact conservation (want %d captured)", wantTotal)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}

@@ -18,6 +18,11 @@
 //   - SIGINT/SIGTERM starts a graceful drain: readiness flips, new
 //     submissions get 503 (accounted), in-flight requests finish, the
 //     queue is flushed, and a final atomic checkpoint is written.
+//   - With -wal-dir, the 202 is a durability contract: the submission is
+//     group-committed to a write-ahead log BEFORE it is acknowledged,
+//     and a restart after kill -9 replays checkpoint+WAL so nothing
+//     acknowledged is lost and post-crash retries dedupe to
+//     202+duplicate.
 //
 // Example:
 //
@@ -66,6 +71,12 @@ func run() int {
 		brkCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "breaker open period before a half-open probe")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget after SIGTERM")
 
+		walDir     = flag.String("wal-dir", "", "write-ahead log directory: every 202 is durable before it is sent, and restart replays checkpoint+WAL ('' = no WAL)")
+		fsyncWin   = flag.Duration("fsync-window", 0, "group-commit coalescing window (0 = natural batching: a submit joins the in-flight fsync)")
+		walSegSize = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation size (0 = 8 MiB default)")
+		walSegAge  = flag.Duration("wal-segment-age", 0, "WAL segment rotation age (0 = size-only rotation)")
+		walStall   = flag.Duration("wal-stall", 0, "pending-fsync age after which /readyz reports wal-stalled (0 = 10s default)")
+
 		instance = flag.String("instance", "", "tier instance id (ring identity; enables clustered drain handoff with -peers)")
 		peers    = flag.String("peers", "", "ring peers as id=url,id=url,... — a graceful drain hands the aggregate to the ring successor")
 		vnodes   = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per instance on the placement ring (must match the router)")
@@ -98,37 +109,12 @@ func run() int {
 		return 2
 	}
 
-	// A previous aggregate at the checkpoint path is the seed — restart
-	// continues the campaign. A damaged one is quarantined, never merged.
-	var seed *profile.DB
-	if *ckpt != "" {
-		switch db, err := profile.LoadFile(*ckpt); {
-		case err == nil:
-			seed = db
-			fmt.Fprintf(os.Stderr, "pmsimd: resumed aggregate from %s (%d samples, %d lost)\n",
-				*ckpt, db.Samples(), db.Lost())
-		case os.IsNotExist(errors.Unwrap(err)) || errors.Is(err, os.ErrNotExist):
-			// Fresh start.
-		case errors.Is(err, profile.ErrCorrupt) || errors.Is(err, profile.ErrTruncated) ||
-			errors.Is(err, profile.ErrVersionSkew):
-			quarantine := *ckpt + ".corrupt"
-			if rerr := os.Rename(*ckpt, quarantine); rerr == nil {
-				fmt.Fprintf(os.Stderr, "pmsimd: checkpoint unusable (%v); quarantined to %s, starting fresh\n", err, quarantine)
-			} else {
-				fmt.Fprintf(os.Stderr, "pmsimd: checkpoint unusable (%v) and quarantine failed (%v); starting fresh\n", err, rerr)
-			}
-		default:
-			fmt.Fprintln(os.Stderr, "pmsimd:", err)
-			return 1
-		}
-	}
-
 	// One mutex'd writer for every component's log lines: under a tier
 	// soak several instances share one stderr, and attribution requires
 	// whole, instance-tagged lines.
 	logw := ingest.NewSyncWriter(os.Stderr)
 
-	svc, err := ingest.NewService(ingest.Config{
+	icfg := ingest.Config{
 		QueueDepth:       *queue,
 		Policy:           policy,
 		Interval:         *interval,
@@ -138,11 +124,63 @@ func run() int {
 		CheckpointEvery:  *ckptEvery,
 		BreakerThreshold: *brkFails,
 		BreakerCooldown:  *brkCooldown,
+		WALDir:           *walDir,
+		FsyncWindow:      *fsyncWin,
+		WALSegmentBytes:  *walSegSize,
+		WALSegmentAge:    *walSegAge,
+		WALStallAfter:    *walStall,
 		Log:              logw,
-	}, seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pmsimd:", err)
-		return 2
+	}
+
+	var svc *ingest.Service
+	if *walDir != "" {
+		// WAL mode: Recover owns the whole restart story — it loads the
+		// checkpoint (quarantining a damaged one), replays the WAL tail
+		// past the barrier, truncates a torn tail, and rebuilds both the
+		// aggregate and the admission ledger so post-crash retries dedupe.
+		var rinfo ingest.RecoveryInfo
+		svc, rinfo, err = ingest.Recover(icfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmsimd:", err)
+			return 1
+		}
+		if rinfo.CheckpointQuarantined {
+			fmt.Fprintf(os.Stderr, "pmsimd: checkpoint unusable; quarantined to %s.corrupt, recovering from WAL alone\n", *ckpt)
+		}
+		st := svc.Stats()
+		fmt.Printf("pmsimd: recovered: checkpoint=%v, %d WAL records replayed in %s (%d segments, truncated=%v); aggregate %d samples, %d lost\n",
+			rinfo.CheckpointLoaded, rinfo.Replayed, rinfo.Replay.Duration.Round(time.Millisecond),
+			rinfo.Replay.Segments, rinfo.Replay.Truncated, st.Samples, st.Lost)
+	} else {
+		// A previous aggregate at the checkpoint path is the seed — restart
+		// continues the campaign. A damaged one is quarantined, never merged.
+		var seed *profile.DB
+		if *ckpt != "" {
+			switch db, err := profile.LoadFile(*ckpt); {
+			case err == nil:
+				seed = db
+				fmt.Fprintf(os.Stderr, "pmsimd: resumed aggregate from %s (%d samples, %d lost)\n",
+					*ckpt, db.Samples(), db.Lost())
+			case os.IsNotExist(errors.Unwrap(err)) || errors.Is(err, os.ErrNotExist):
+				// Fresh start.
+			case errors.Is(err, profile.ErrCorrupt) || errors.Is(err, profile.ErrTruncated) ||
+				errors.Is(err, profile.ErrVersionSkew):
+				quarantine := *ckpt + ".corrupt"
+				if rerr := os.Rename(*ckpt, quarantine); rerr == nil {
+					fmt.Fprintf(os.Stderr, "pmsimd: checkpoint unusable (%v); quarantined to %s, starting fresh\n", err, quarantine)
+				} else {
+					fmt.Fprintf(os.Stderr, "pmsimd: checkpoint unusable (%v) and quarantine failed (%v); starting fresh\n", err, rerr)
+				}
+			default:
+				fmt.Fprintln(os.Stderr, "pmsimd:", err)
+				return 1
+			}
+		}
+		svc, err = ingest.NewService(icfg, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmsimd:", err)
+			return 2
+		}
 	}
 	svc.Start()
 
@@ -194,20 +232,39 @@ func run() int {
 		return 1
 	}
 	if len(peerURLs) > 0 {
-		res, err := cluster.DrainHandoff(drainCtx, svc, nil, *instance, peerURLs, *vnodes, *ringSeed, logw)
+		// A transiently unreachable successor (restarting, mid-probe) must
+		// not demote a clean handoff to a local checkpoint, so the ring
+		// walk retries briefly inside the drain budget before giving up.
+		var res cluster.HandoffResult
+		var err error
+		for attempt := 0; ; attempt++ {
+			res, err = cluster.DrainHandoff(drainCtx, svc, nil, *instance, peerURLs, *vnodes, *ringSeed, logw)
+			if err == nil || attempt >= 2 || drainCtx.Err() != nil {
+				break
+			}
+			select {
+			case <-drainCtx.Done():
+			case <-time.After(250 * time.Millisecond):
+			}
+		}
 		if err != nil {
 			// Every peer refused or was unreachable: fall back to local
 			// durability — the checkpoint keeps the aggregate recoverable.
 			fmt.Fprintf(os.Stderr, "pmsimd: %v; falling back to local checkpoint\n", err)
 		} else {
 			// The samples now live exactly once, at the successor. A
-			// checkpoint left behind would double-count them on restart;
-			// quarantine it instead of deleting history.
+			// checkpoint or WAL left behind would double-count them on
+			// restart; quarantine both instead of deleting history.
 			if *ckpt != "" {
 				if _, statErr := os.Stat(*ckpt); statErr == nil {
 					if err := os.Rename(*ckpt, *ckpt+".handedoff"); err != nil {
 						fmt.Fprintf(os.Stderr, "pmsimd: could not retire checkpoint after handoff: %v\n", err)
 					}
+				}
+			}
+			if *walDir != "" {
+				if err := svc.QuarantineWALDir(".handedoff"); err != nil {
+					fmt.Fprintf(os.Stderr, "pmsimd: could not retire WAL after handoff: %v\n", err)
 				}
 			}
 			st := svc.Stats()
@@ -219,6 +276,11 @@ func run() int {
 	if err := svc.FinalCheckpoint(); err != nil {
 		fmt.Fprintln(os.Stderr, "pmsimd:", err)
 		return 1
+	}
+	// A clean WAL close flushes any pending group commit; the log stays
+	// on disk — the next start replays anything past the final barrier.
+	if err := svc.CloseWAL(); err != nil {
+		fmt.Fprintln(os.Stderr, "pmsimd: wal close:", err)
 	}
 	st := svc.Stats()
 	fmt.Printf("pmsimd: drained cleanly: %d shards merged, %d rejected, %d dropped; %d samples aggregated, %d lost (%.1f%% loss)\n",

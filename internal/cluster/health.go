@@ -132,6 +132,12 @@ func (rt *Router) Probe(ctx context.Context) {
 		case kind == "draining":
 			rt.health.reportDraining(id)
 			rt.logf("probe: instance %s draining", id)
+		case kind == "wal-stalled":
+			// A stalled WAL means every 202 would block on a sick disk:
+			// treat like draining — steer new submissions to the ring
+			// successor while the instance still serves queries and dedupes.
+			rt.health.reportDraining(id)
+			rt.logf("probe: instance %s degraded (WAL stalled)", id)
 		default:
 			// Not ready for another reason (e.g. breaker open): the
 			// instance still serves queries and dedupes submissions, so

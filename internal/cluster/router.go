@@ -50,6 +50,16 @@ type RouterConfig struct {
 	MaxBodyBytes int64
 	// RetryAfter is the hint on 429/503 responses (default 1s).
 	RetryAfter time.Duration
+	// Witness enables witness replication: every acknowledged
+	// submission is forwarded to the ring successor of the acknowledging
+	// instance as a witness copy, and AntiEntropy can rebuild an
+	// instance that lost its disk (see witness.go).
+	Witness bool
+	// WitnessSync makes witness forwarding synchronous (the 202 to the
+	// client waits for the witness holder's 202). Tests use this for
+	// determinism; production leaves it false — witness copies are
+	// best-effort redundancy behind the WAL.
+	WitnessSync bool
 	// Client is the outbound HTTP client (default: 30s timeout).
 	Client *http.Client
 	// Log receives degradation lines (nil = silent). Writes are
@@ -120,12 +130,18 @@ type Router struct {
 
 	logMu sync.Mutex
 
-	submits        atomic.Uint64
-	failovers      atomic.Uint64
-	hedges         atomic.Uint64
-	hedgeWins      atomic.Uint64
-	partialsServed atomic.Uint64
-	legsFailed     atomic.Uint64
+	witnessWG sync.WaitGroup // in-flight async witness forwards
+
+	submits          atomic.Uint64
+	failovers        atomic.Uint64
+	hedges           atomic.Uint64
+	hedgeWins        atomic.Uint64
+	partialsServed   atomic.Uint64
+	legsFailed       atomic.Uint64
+	witnessSent      atomic.Uint64
+	witnessFailed    atomic.Uint64
+	antiEntropyRuns  atomic.Uint64
+	antiEntropyResub atomic.Uint64
 }
 
 // NewRouter builds the tier frontend over the configured instances.
@@ -298,6 +314,9 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		case http.StatusAccepted:
 			rt.health.reportSuccess(id)
 			rt.rememberPlacement(shard, id)
+			if rt.cfg.Witness {
+				rt.forwardWitness(shard, id, body)
+			}
 			rt.respondAugmented(w, status, respBody, id, refusedBy)
 			return
 		default:
@@ -827,23 +846,31 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // RouterStats are the router's own counters, served under "router" in
 // /v1/stats.
 type RouterStats struct {
-	Submits        uint64 `json:"submits"`
-	Failovers      uint64 `json:"failovers"`
-	Hedges         uint64 `json:"hedges"`
-	HedgeWins      uint64 `json:"hedge_wins"`
-	PartialsServed uint64 `json:"partials_served"`
-	LegsFailed     uint64 `json:"legs_failed"`
+	Submits              uint64 `json:"submits"`
+	Failovers            uint64 `json:"failovers"`
+	Hedges               uint64 `json:"hedges"`
+	HedgeWins            uint64 `json:"hedge_wins"`
+	PartialsServed       uint64 `json:"partials_served"`
+	LegsFailed           uint64 `json:"legs_failed"`
+	WitnessSent          uint64 `json:"witness_sent"`
+	WitnessFailed        uint64 `json:"witness_failed"`
+	AntiEntropyRuns      uint64 `json:"anti_entropy_runs"`
+	AntiEntropyResubmits uint64 `json:"anti_entropy_resubmits"`
 }
 
 // Stats returns a snapshot of the router counters.
 func (rt *Router) Stats() RouterStats {
 	return RouterStats{
-		Submits:        rt.submits.Load(),
-		Failovers:      rt.failovers.Load(),
-		Hedges:         rt.hedges.Load(),
-		HedgeWins:      rt.hedgeWins.Load(),
-		PartialsServed: rt.partialsServed.Load(),
-		LegsFailed:     rt.legsFailed.Load(),
+		Submits:              rt.submits.Load(),
+		Failovers:            rt.failovers.Load(),
+		Hedges:               rt.hedges.Load(),
+		HedgeWins:            rt.hedgeWins.Load(),
+		PartialsServed:       rt.partialsServed.Load(),
+		LegsFailed:           rt.legsFailed.Load(),
+		WitnessSent:          rt.witnessSent.Load(),
+		WitnessFailed:        rt.witnessFailed.Load(),
+		AntiEntropyRuns:      rt.antiEntropyRuns.Load(),
+		AntiEntropyResubmits: rt.antiEntropyResub.Load(),
 	}
 }
 

@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+)
+
+// Witness replication closes the durability gap the per-instance WAL
+// cannot: total disk loss. After an instance acknowledges a submission
+// (202), the router forwards the raw body to the ring successor of the
+// acknowledging instance as a witness copy, tagged with the origin's
+// id. The copy is pure redundancy — the origin's WAL remains the system
+// of record — until an origin comes back empty-handed, at which point
+// the anti-entropy sweep compares every witness ledger against the
+// owners' admission ledgers (/v1/ledger), resubmits what an owner is
+// missing (owner-side dedupe makes a raced retry a 202+duplicate, so
+// the sweep is idempotent), and prunes copies the owner provably holds.
+//
+// Witness forwarding is asynchronous and best-effort by design: the
+// client's 202 must not wait on a second network hop, and a missed
+// witness copy only narrows the disk-loss recovery set, never the
+// crash-recovery guarantee (that is the WAL's). WitnessSync exists so
+// tests can make the forward synchronous and deterministic.
+
+// forwardWitness ships one accepted submission body to the witness
+// holder for (shard, origin). Asynchronous unless cfg.WitnessSync.
+func (rt *Router) forwardWitness(shard, origin string, body []byte) {
+	target := rt.witnessTarget(shard, origin)
+	if target == "" {
+		return // single-instance tier: nobody to witness
+	}
+	if rt.cfg.WitnessSync {
+		rt.sendWitness(context.Background(), target, shard, origin, body)
+		return
+	}
+	rt.witnessWG.Add(1)
+	go func() {
+		defer rt.witnessWG.Done()
+		rt.sendWitness(context.Background(), target, shard, origin, body)
+	}()
+}
+
+// witnessTarget picks the witness holder: the first instance after the
+// origin in the shard's ring order that is not the origin and not Down.
+// Per-shard ring order (rather than a fixed per-instance successor)
+// spreads one origin's witness set across the tier and keeps the choice
+// stable across router restarts (the ring is seed-derived).
+func (rt *Router) witnessTarget(shard, origin string) string {
+	ringOrder := rt.ring.successors(shard, rt.ring.size())
+	for _, id := range ringOrder {
+		if id == origin || rt.health.get(id) == StateDown {
+			continue
+		}
+		return id
+	}
+	return ""
+}
+
+// WitnessFlush waits for every in-flight asynchronous witness forward.
+func (rt *Router) WitnessFlush() { rt.witnessWG.Wait() }
+
+func (rt *Router) sendWitness(ctx context.Context, target, shard, origin string, body []byte) {
+	base := rt.urlOf(target)
+	if base == "" {
+		rt.witnessFailed.Add(1)
+		return
+	}
+	payload, err := json.Marshal(map[string]any{
+		"origin": origin,
+		"shard":  shard,
+		"body":   body, // []byte marshals as base64
+	})
+	if err != nil {
+		rt.witnessFailed.Add(1)
+		return
+	}
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.SubmitDeadline)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/witness", bytes.NewReader(payload))
+	if err != nil {
+		rt.witnessFailed.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.witnessFailed.Add(1)
+		rt.logf("witness shard %s: holder %s unreachable (%v)", shard, target, err)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		rt.witnessFailed.Add(1)
+		rt.logf("witness shard %s: holder %s refused (%d)", shard, target, resp.StatusCode)
+		return
+	}
+	rt.witnessSent.Add(1)
+}
+
+// AntiEntropyReport summarizes one reconciliation sweep.
+type AntiEntropyReport struct {
+	// HoldersScanned counts instances whose witness ledger was read.
+	HoldersScanned int `json:"holders_scanned"`
+	// OriginsChecked counts (holder, origin) ledger comparisons.
+	OriginsChecked int `json:"origins_checked"`
+	// Resubmitted counts witness copies replayed to an owner that was
+	// missing them (the disk-loss recovery path doing its job).
+	Resubmitted int `json:"resubmitted"`
+	// Pruned counts witness copies released because the owner provably
+	// holds the shard (pre-existing or just resubmitted).
+	Pruned int `json:"pruned"`
+	// Errors counts legs that failed (unreachable holder/owner, refused
+	// resubmission); the next sweep retries them.
+	Errors int `json:"errors"`
+}
+
+// AntiEntropy runs one reconciliation sweep: for every reachable
+// witness holder, compare each origin's witnessed shards against that
+// origin's live admission ledger, resubmit the difference to the
+// origin, and prune copies the origin holds. Safe to run concurrently
+// with live traffic — owner-side dedupe absorbs races — and idempotent:
+// a second sweep over a converged tier does nothing.
+func (rt *Router) AntiEntropy(ctx context.Context) AntiEntropyReport {
+	var rep AntiEntropyReport
+	for holder, base := range rt.instanceURLs() {
+		if rt.health.get(holder) == StateDown {
+			continue
+		}
+		ledger, err := rt.fetchWitnessLedger(ctx, base)
+		if err != nil {
+			rep.Errors++
+			continue
+		}
+		rep.HoldersScanned++
+		origins := make([]string, 0, len(ledger))
+		for origin := range ledger {
+			origins = append(origins, origin)
+		}
+		sort.Strings(origins)
+		for _, origin := range origins {
+			ownerBase := rt.urlOf(origin)
+			if ownerBase == "" || rt.health.get(origin) == StateDown {
+				continue // owner absent: keep the copies, retry next sweep
+			}
+			rep.OriginsChecked++
+			admitted, err := rt.fetchAdmitted(ctx, ownerBase)
+			if err != nil {
+				rep.Errors++
+				continue
+			}
+			var prune []string
+			for _, row := range ledger[origin] {
+				if admitted[row.shard] {
+					prune = append(prune, row.shard)
+					continue
+				}
+				if err := rt.resubmitWitness(ctx, base, ownerBase, origin, row.shard); err != nil {
+					rep.Errors++
+					rt.logf("anti-entropy: resubmit %s/%s to %s failed (%v)", origin, row.shard, origin, err)
+					continue
+				}
+				rep.Resubmitted++
+				prune = append(prune, row.shard)
+			}
+			if len(prune) > 0 {
+				n, err := rt.pruneWitness(ctx, base, origin, prune)
+				if err != nil {
+					rep.Errors++
+					continue
+				}
+				rep.Pruned += n
+			}
+		}
+	}
+	rt.antiEntropyRuns.Add(1)
+	rt.antiEntropyResub.Add(uint64(rep.Resubmitted))
+	return rep
+}
+
+// witnessRow mirrors one /v1/witness/ledger entry.
+type witnessRow struct {
+	shard    string
+	captured uint64
+}
+
+func (rt *Router) fetchWitnessLedger(ctx context.Context, base string) (map[string][]witnessRow, error) {
+	body, err := rt.getJSON(ctx, base+"/v1/witness/ledger")
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		Witness map[string][]struct {
+			Shard    string `json:"shard"`
+			Captured uint64 `json:"captured"`
+		} `json:"witness"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]witnessRow, len(resp.Witness))
+	for origin, rows := range resp.Witness {
+		for _, r := range rows {
+			out[origin] = append(out[origin], witnessRow{shard: r.Shard, captured: r.Captured})
+		}
+	}
+	return out, nil
+}
+
+func (rt *Router) fetchAdmitted(ctx context.Context, base string) (map[string]bool, error) {
+	body, err := rt.getJSON(ctx, base+"/v1/ledger")
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		Shards []string `json:"shards"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool, len(resp.Shards))
+	for _, sh := range resp.Shards {
+		out[sh] = true
+	}
+	return out, nil
+}
+
+// resubmitWitness fetches one stored body from the holder and replays
+// it to the owner's /v1/submit. A 202 — fresh or duplicate — means the
+// owner now holds the shard (and its new WAL holds the record).
+func (rt *Router) resubmitWitness(ctx context.Context, holderBase, ownerBase, origin, shard string) error {
+	fetchURL := holderBase + "/v1/witness/fetch?origin=" + url.QueryEscape(origin) + "&shard=" + url.QueryEscape(shard)
+	body, err := rt.getJSON(ctx, fetchURL)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.SubmitDeadline)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ownerBase+"/v1/submit", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("owner answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func (rt *Router) pruneWitness(ctx context.Context, holderBase, origin string, shards []string) (int, error) {
+	payload, err := json.Marshal(map[string]any{"origin": origin, "shards": shards})
+	if err != nil {
+		return 0, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.SubmitDeadline)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, holderBase+"/v1/witness/prune", bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("prune answered %d", resp.StatusCode)
+	}
+	var pr struct {
+		Pruned int `json:"pruned"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		return 0, err
+	}
+	return pr.Pruned, nil
+}
+
+// getJSON fetches one URL under the query deadline and returns the body
+// on any 200; non-200 is an error.
+func (rt *Router) getJSON(ctx context.Context, u string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.QueryDeadline)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %d", u, resp.StatusCode)
+	}
+	return body, nil
+}

@@ -1,0 +1,161 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"profileme/internal/profile"
+	"profileme/internal/wal"
+)
+
+// A checkpoint is the WAL's barrier: everything the service knew at one
+// instant — the aggregate image AND the admission ledger — in a single
+// atomic file. Restart is checkpoint + WAL tail: replay skips records
+// the ledger already covers and re-applies the rest, so the 202 sent
+// after a WAL fsync survives a crash at any instruction.
+//
+// The envelope reuses the §7 conventions (magic, version, payload
+// length, gob payload, CRC32-C trailer) with its own magic so a
+// checkpoint can never be confused with a bare profile database. Legacy
+// bare-PMDB checkpoints (pre-WAL) still load, with an empty ledger.
+const (
+	ckptMagic   = "PMCK"
+	ckptVersion = 1
+	// ckptMaxBytes caps the declared payload against forged length
+	// fields, like profile.LoadDB's cap plus ledger headroom.
+	ckptMaxBytes   = 1<<28 + 1<<24
+	ckptHeaderLen  = 16 // magic[4] + version u32 + payload length u64
+	legacyDBMagic  = "PMDB"
+	corruptSuffix  = ".corrupt"
+	handedSuffix   = ".handedoff"
+	ckptCRCTrailer = 4
+)
+
+var ckptCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checkpoint is the durable snapshot: the aggregate (a profile.Save
+// image, CRC-protected on its own) plus the admission ledger and the
+// WAL barrier position at snapshot time.
+type Checkpoint struct {
+	// Profile is the aggregate's profile.Save bytes (nil/empty when the
+	// aggregate was empty and unconfigured — never written in practice).
+	Profile []byte
+	// Applied lists shard ids the aggregator had RESOLVED (merged, or
+	// merge-failed with the loss accounted) when the snapshot was taken.
+	// Replay skips their admit records; a queued-but-unresolved shard is
+	// deliberately absent so its record replays.
+	Applied []string
+	// RefusedLoss mirrors Service.refusedLoss: shard id -> captured
+	// samples standing in the aggregate's loss ledger.
+	RefusedLoss map[string]uint64
+	// HandoffFrom mirrors Service.handoffFrom (ledger provenance).
+	HandoffFrom map[string]string
+	// AppliedHandoffs holds the WAL positions (Pos.String) of handoff
+	// records already folded in; replay skips them.
+	AppliedHandoffs []string
+	// Barrier is the WAL position this checkpoint covers: every record
+	// below it is either in Applied/RefusedLoss/AppliedHandoffs or was
+	// never acknowledged. Segments wholly below it are reclaimable.
+	Barrier wal.Pos
+}
+
+// WriteCheckpoint writes ck as a PMCK envelope.
+func WriteCheckpoint(w io.Writer, ck *Checkpoint) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(ck); err != nil {
+		return fmt.Errorf("ingest: checkpoint encode: %w", err)
+	}
+	var hdr [ckptHeaderLen]byte
+	copy(hdr[0:4], ckptMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], ckptVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(payload.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("ingest: checkpoint write: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("ingest: checkpoint write: %w", err)
+	}
+	var crc [ckptCRCTrailer]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload.Bytes(), ckptCRCTable))
+	if _, err := w.Write(crc[:]); err != nil {
+		return fmt.Errorf("ingest: checkpoint write: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint reads a PMCK envelope. Failures are typed with the
+// profile package's persistence errors (ErrCorrupt / ErrTruncated /
+// ErrVersionSkew) so callers classify damage the same way everywhere.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var hdr [ckptHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("ingest: checkpoint header: %w", profile.ErrTruncated)
+	}
+	if string(hdr[0:4]) != ckptMagic {
+		return nil, fmt.Errorf("ingest: checkpoint bad magic: %w", profile.ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != ckptVersion {
+		return nil, fmt.Errorf("ingest: checkpoint format v%d, this build reads v%d: %w",
+			v, ckptVersion, profile.ErrVersionSkew)
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:16])
+	if n > ckptMaxBytes {
+		return nil, fmt.Errorf("ingest: checkpoint declared payload %d exceeds %d: %w",
+			n, ckptMaxBytes, profile.ErrCorrupt)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("ingest: checkpoint payload: %w", profile.ErrTruncated)
+	}
+	var crcBuf [ckptCRCTrailer]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("ingest: checkpoint checksum: %w", profile.ErrTruncated)
+	}
+	if got, want := crc32.Checksum(payload, ckptCRCTable), binary.LittleEndian.Uint32(crcBuf[:]); got != want {
+		return nil, fmt.Errorf("ingest: checkpoint checksum %08x != %08x: %w", got, want, profile.ErrCorrupt)
+	}
+	var ck Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("ingest: checkpoint decode: %v: %w", err, profile.ErrCorrupt)
+	}
+	return &ck, nil
+}
+
+// LoadCheckpointFile loads a checkpoint from disk, accepting both the
+// PMCK envelope and a legacy bare profile database (pre-WAL pmsimd
+// checkpoints), which loads with an empty ledger. A missing file
+// returns (nil, nil): a fresh start, not an error.
+func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("ingest: load checkpoint: %w", err)
+	}
+	if len(raw) >= 4 && string(raw[0:4]) == legacyDBMagic {
+		// Validate eagerly so damage surfaces here, typed, not later.
+		if _, err := profile.LoadDB(bytes.NewReader(raw)); err != nil {
+			return nil, fmt.Errorf("ingest: load legacy checkpoint %s: %w", path, err)
+		}
+		return &Checkpoint{Profile: raw}, nil
+	}
+	ck, err := ReadCheckpoint(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("ingest: load checkpoint %s: %w", path, err)
+	}
+	return ck, nil
+}
+
+// QuarantineCheckpoint renames a damaged checkpoint aside (path +
+// ".corrupt") so a restart proceeds empty instead of crash-looping,
+// keeping the bytes for forensics. Used by the daemon when
+// LoadCheckpointFile reports corruption.
+func QuarantineCheckpoint(path string) error {
+	return os.Rename(path, path+corruptSuffix)
+}

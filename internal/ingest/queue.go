@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"profileme/internal/profile"
+	"profileme/internal/wal"
 )
 
 // Policy says what Offer does when the queue is full.
@@ -70,6 +71,12 @@ type Submission struct {
 	Shard string
 	// DB is the decoded shard database; the queue takes ownership.
 	DB *profile.DB
+
+	// walPos is where Submit staged this submission's admit record
+	// (zero when the WAL is disabled). It rides through the queue so
+	// the aggregator can release the position from the checkpoint
+	// barrier's pending set when the submission resolves.
+	walPos wal.Pos
 }
 
 // Captured returns the total samples the shard's hardware captured —

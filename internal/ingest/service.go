@@ -1,16 +1,19 @@
 package ingest
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"profileme/internal/profile"
+	"profileme/internal/wal"
 )
 
 // Typed admission failures. The HTTP layer maps each to a status code;
@@ -34,6 +37,11 @@ var (
 	// ring successor; accepting anything afterwards would strand samples
 	// outside the fleet-wide conservation sum.
 	ErrHandedOff = errors.New("ingest: aggregate already handed off")
+	// ErrWAL: the write-ahead log could not make the submission durable
+	// (append or fsync failure). Transient from the client's view — the
+	// submission was NOT acknowledged, so a retry against a healthy
+	// replica is safe (HTTP 503).
+	ErrWAL = errors.New("ingest: write-ahead log unavailable")
 )
 
 // Config parameterizes a Service. Zero values get usable defaults.
@@ -60,6 +68,26 @@ type Config struct {
 	// probe (default 5s).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// WALDir enables crash durability: every submission is appended to a
+	// write-ahead log there and fsynced BEFORE Submit returns, so the 202
+	// is a durability contract, not a hope. "" disables the WAL (the
+	// pre-WAL behavior: a crash loses everything since the last
+	// checkpoint). Checkpoints become WAL barriers; segments wholly
+	// covered by a checkpoint are reclaimed.
+	WALDir string
+	// FsyncWindow is the group-commit coalescing window (see wal.Config;
+	// default 0 = natural batching, where concurrent submits share
+	// whatever fsync is already in flight).
+	FsyncWindow time.Duration
+	// WALSegmentBytes / WALSegmentAge bound segment rotation (defaults
+	// from wal.Config: 8 MiB, no age limit).
+	WALSegmentBytes int64
+	WALSegmentAge   time.Duration
+	// WALStallAfter marks the WAL stalled — readiness degrades — when
+	// the oldest staged-but-unsynced record is older than this (default
+	// 10s). A stalled WAL means fsync has stopped completing: the
+	// instance must go unready BEFORE it starts losing data.
+	WALStallAfter time.Duration
 	// Log receives progress and degradation lines (nil = silent).
 	Log io.Writer
 
@@ -85,6 +113,9 @@ func (c *Config) normalize() error {
 	}
 	if c.BreakerCooldown == 0 {
 		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.WALStallAfter == 0 {
+		c.WALStallAfter = 10 * time.Second
 	}
 	switch {
 	case c.QueueDepth < 1:
@@ -138,10 +169,44 @@ type Stats struct {
 
 	Draining bool `json:"draining"`
 
+	// WAL is the write-ahead log's health section, nil when the WAL is
+	// disabled. The Router's health tracker reads Stalled to degrade an
+	// instance whose fsyncs have stopped completing.
+	WAL *WALHealth `json:"wal,omitempty"`
+
 	// Aggregate rollup.
 	Samples  uint64  `json:"samples"`
 	Lost     uint64  `json:"lost"`
 	LossRate float64 `json:"loss_rate"`
+}
+
+// WALHealth is the /v1/stats "wal" section: the log's own counters plus
+// the service-level replay and pending figures the log cannot know.
+type WALHealth struct {
+	Segments          int    `json:"segments"`
+	SegmentSeq        uint64 `json:"segment_seq"`
+	AppendedBytes     int64  `json:"appended_bytes"`
+	BytesSinceBarrier int64  `json:"bytes_since_barrier"`
+	Appends           uint64 `json:"appends"`
+	Syncs             uint64 `json:"syncs"`
+	SyncErrors        uint64 `json:"sync_errors"`
+	Rotations         uint64 `json:"rotations"`
+	// LastSyncAgeMS is how long ago the last successful fsync finished;
+	// OldestPendingAgeMS how long the oldest staged-but-unsynced record
+	// has been waiting (0 when nothing is pending).
+	LastSyncAgeMS      int64 `json:"last_sync_age_ms"`
+	OldestPendingAgeMS int64 `json:"oldest_pending_age_ms"`
+	// PendingRecords counts admitted-but-unresolved WAL records (staged
+	// admits/handoffs the aggregator has not merged yet) — the records a
+	// checkpoint barrier must not pass.
+	PendingRecords int `json:"pending_records"`
+	// ReplayRecords / ReplayDurationMS report the recovery replay at
+	// boot (the WAL's boot-latency cost).
+	ReplayRecords    int   `json:"replay_records"`
+	ReplayDurationMS int64 `json:"replay_duration_ms"`
+	// Stalled is true when OldestPendingAge exceeded Config.WALStallAfter
+	// — fsync has stopped completing and readiness must degrade.
+	Stalled bool `json:"stalled"`
 }
 
 // Service owns the ingest pipeline: HTTP handlers Submit, one aggregator
@@ -194,12 +259,97 @@ type Service struct {
 	// over — the reason a retry of a donor-merged shard dedupes at the
 	// successor instead of double-merging across a drain failover.
 	handoffFrom map[string]string
+
+	// WAL state (all guarded by mu except the log itself, which has its
+	// own locking). applied holds shard ids the aggregator has RESOLVED
+	// (merged or merge-failed-and-accounted) — the set a checkpoint
+	// snapshots so replay can skip covered admit records; admitted minus
+	// applied is "reserved or queued". pending maps staged WAL positions
+	// to their unresolved records: the checkpoint barrier is min(pending)
+	// so reclaim can never outrun an acknowledged-but-unmerged record.
+	// appliedHandoffs keys applied handoff records by Pos.String() —
+	// stable across replays — so a replayed handoff never double-merges.
+	wal             *wal.Log
+	walReplay       wal.ReplayInfo
+	applied         map[string]bool
+	pending         map[wal.Pos]struct{}
+	appliedHandoffs map[string]bool
+	replayedRecords int
 }
 
 // NewService builds a service. seed, when non-nil, becomes the aggregate
 // (e.g. a checkpoint reloaded at startup) and defines the sampling
-// configuration; otherwise an empty aggregate is built from cfg.
+// configuration; otherwise an empty aggregate is built from cfg. With
+// cfg.WALDir set, any existing WAL tail there is replayed into the seed
+// (with an empty ledger — use Recover to restart from checkpoint + WAL).
 func NewService(cfg Config, seed *profile.DB) (*Service, error) {
+	return newService(cfg, seed, nil)
+}
+
+// RecoveryInfo reports what Recover reconstructed.
+type RecoveryInfo struct {
+	// CheckpointLoaded is true when a checkpoint seeded the state;
+	// CheckpointQuarantined when a damaged one was set aside (.corrupt)
+	// and recovery proceeded from the WAL alone.
+	CheckpointLoaded      bool
+	CheckpointQuarantined bool
+	// LegacyCheckpoint is true when the checkpoint was a pre-WAL bare
+	// profile database (no ledger, no barrier).
+	LegacyCheckpoint bool
+	// Replay is the WAL scan: records re-applied or skipped, repairs.
+	Replay wal.ReplayInfo
+	// Replayed counts records actually applied (not skipped as covered
+	// by the checkpoint ledger).
+	Replayed int
+}
+
+// Recover restarts a service from its durable state: the checkpoint (if
+// any) seeds the aggregate and the admission ledger, then the WAL tail
+// is replayed on top, truncating at the first torn record. A corrupt
+// checkpoint is quarantined (.corrupt) and recovery proceeds from the
+// WAL alone — conservation then rests on whatever the WAL retains.
+// cfg.WALDir may be "" (plain checkpoint restart, no WAL).
+func Recover(cfg Config) (*Service, RecoveryInfo, error) {
+	var info RecoveryInfo
+	var ck *Checkpoint
+	if cfg.CheckpointPath != "" {
+		var err error
+		ck, err = LoadCheckpointFile(cfg.CheckpointPath)
+		switch {
+		case err == nil:
+			info.CheckpointLoaded = ck != nil
+		case errors.Is(err, profile.ErrCorrupt) || errors.Is(err, profile.ErrTruncated):
+			if qerr := QuarantineCheckpoint(cfg.CheckpointPath); qerr != nil {
+				return nil, info, fmt.Errorf("ingest: recover: quarantine damaged checkpoint: %v (load error: %w)", qerr, err)
+			}
+			info.CheckpointQuarantined = true
+			ck = nil
+		default:
+			return nil, info, err
+		}
+	}
+	var seed *profile.DB
+	if ck != nil && len(ck.Profile) > 0 {
+		db, err := profile.LoadDB(bytes.NewReader(ck.Profile))
+		if err != nil {
+			return nil, info, fmt.Errorf("ingest: recover: checkpoint profile: %w", err)
+		}
+		seed = db
+		info.LegacyCheckpoint = ck.Applied == nil && ck.RefusedLoss == nil && ck.Barrier.IsZero()
+	}
+	s, err := newService(cfg, seed, ck)
+	if err != nil {
+		return nil, info, err
+	}
+	info.Replay = s.walReplay
+	info.Replayed = s.replayedRecords
+	return s, info, nil
+}
+
+// newService is the shared constructor: build the service, install the
+// checkpoint ledger, then open the WAL (replaying its tail into the
+// service through the ledger's skip logic).
+func newService(cfg Config, seed *profile.DB, ck *Checkpoint) (*Service, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -211,19 +361,61 @@ func NewService(cfg Config, seed *profile.DB) (*Service, error) {
 		seed = profile.NewDB(cfg.Interval, cfg.Window, cfg.Width)
 	}
 	s := &Service{
-		cfg:         cfg,
-		agg:         profile.NewSafeDB(seed),
-		q:           q,
-		brk:         NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
-		done:        make(chan struct{}),
-		admitted:    make(map[string]bool),
-		refusedLoss: make(map[string]uint64),
-		handoffFrom: make(map[string]string),
+		cfg:             cfg,
+		agg:             profile.NewSafeDB(seed),
+		q:               q,
+		brk:             NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		done:            make(chan struct{}),
+		admitted:        make(map[string]bool),
+		refusedLoss:     make(map[string]uint64),
+		handoffFrom:     make(map[string]string),
+		applied:         make(map[string]bool),
+		pending:         make(map[wal.Pos]struct{}),
+		appliedHandoffs: make(map[string]bool),
 	}
 	s.wantS, s.wantW, s.wantC, s.wantTNear = s.agg.SamplingConfig()
+	if ck != nil {
+		for _, sh := range ck.Applied {
+			s.admitted[sh] = true
+			s.applied[sh] = true
+		}
+		for sh, n := range ck.RefusedLoss {
+			s.refusedLoss[sh] = n
+			s.lostSamp += n
+		}
+		for sh, from := range ck.HandoffFrom {
+			s.handoffFrom[sh] = from
+			s.admitted[sh] = true
+		}
+		for _, key := range ck.AppliedHandoffs {
+			s.appliedHandoffs[key] = true
+		}
+	}
+	if cfg.WALDir != "" {
+		l, rinfo, err := wal.Open(wal.Config{
+			Dir:          cfg.WALDir,
+			SegmentBytes: cfg.WALSegmentBytes,
+			SegmentAge:   cfg.WALSegmentAge,
+			FsyncWindow:  cfg.FsyncWindow,
+		}, s.replayRecord)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: wal: %w", err)
+		}
+		s.wal = l
+		s.walReplay = rinfo
+		if rinfo.Records > 0 || rinfo.Truncated {
+			s.logf("wal replay: %d records (%d applied) from %d segments in %s%s",
+				rinfo.Records, s.replayedRecords, rinfo.Segments, rinfo.Duration.Round(time.Millisecond),
+				map[bool]string{true: fmt.Sprintf(", truncated at %v (%d segments quarantined)", rinfo.TruncatedAt, rinfo.Quarantined), false: ""}[rinfo.Truncated])
+		}
+	}
 	if s.cfg.persist == nil {
-		s.cfg.persist = func() error {
-			return profile.WriteAtomic(s.cfg.CheckpointPath, s.agg.Save)
+		if s.wal != nil {
+			s.cfg.persist = s.persistCheckpoint
+		} else {
+			s.cfg.persist = func() error {
+				return profile.WriteAtomic(s.cfg.CheckpointPath, s.agg.Save)
+			}
 		}
 	}
 	return s, nil
@@ -270,17 +462,63 @@ func (s *Service) Submit(sub Submission) error {
 	if err := s.compatible(sub.DB); err != nil {
 		return err
 	}
-	// Reserve the shard id before touching the queue so two racing
-	// submissions of the same shard cannot both merge; the reservation is
-	// released again on refusal.
+	// Cheap duplicate pre-check before paying for WAL encoding (retries
+	// of delivered shards are the common case under a flaky network).
 	s.mu.Lock()
 	if s.admitted[sub.Shard] {
 		s.dupes++
 		s.mu.Unlock()
 		return ErrDuplicate
 	}
+	s.mu.Unlock()
+	// Serialize the WAL record outside any lock: gob encoding is the
+	// expensive part and needs nothing shared.
+	var rec []byte
+	if s.wal != nil {
+		var err error
+		if rec, err = encodeAdmitRecord(sub); err != nil {
+			return fmt.Errorf("%w: encode: %v", ErrWAL, err)
+		}
+	}
+	// Reserve the shard id before touching the queue so two racing
+	// submissions of the same shard cannot both merge; the reservation is
+	// released again on refusal. The WAL record is staged in the same
+	// critical section so its position is registered in the pending set
+	// before any checkpoint can compute a barrier past it — otherwise a
+	// reclaim racing this Submit could erase an acknowledged record
+	// before the aggregator resolves it.
+	var ticket *wal.Ticket
+	s.mu.Lock()
+	if s.admitted[sub.Shard] {
+		s.dupes++
+		s.mu.Unlock()
+		return ErrDuplicate
+	}
+	if s.wal != nil {
+		pos, t, err := s.wal.Stage(rec)
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: %v", ErrWAL, err)
+		}
+		sub.walPos = pos
+		s.pending[pos] = struct{}{}
+		ticket = t
+	}
 	s.admitted[sub.Shard] = true
 	s.mu.Unlock()
+	// Group commit: wait for the batched fsync. Only after this returns
+	// is the record durable and the 202 honest. On sync failure nothing
+	// was acknowledged, so back the reservation out and send the client
+	// elsewhere.
+	if ticket != nil {
+		if err := ticket.Wait(); err != nil {
+			s.mu.Lock()
+			delete(s.admitted, sub.Shard)
+			delete(s.pending, sub.walPos)
+			s.mu.Unlock()
+			return fmt.Errorf("%w: fsync: %v", ErrWAL, err)
+		}
+	}
 	if s.draining.Load() {
 		s.refuse(sub, &s.rejected)
 		return ErrDraining
@@ -303,16 +541,18 @@ func (s *Service) Submit(sub Submission) error {
 	}
 	// Accepted: if an earlier refusal of this shard was accounted as
 	// loss, the samples are back in the pipeline — reverse the ledger.
+	// Ledger and aggregate move together under mu so a checkpoint
+	// snapshot can never see one without the other.
 	s.mu.Lock()
 	reversed, wasRefused := s.refusedLoss[sub.Shard]
 	if wasRefused {
 		delete(s.refusedLoss, sub.Shard)
 		s.lostSamp -= reversed
 		s.lostRev += reversed
+		s.agg.ReverseLoss(reversed)
 	}
 	s.mu.Unlock()
 	if wasRefused {
-		s.agg.ReverseLoss(reversed)
 		s.logf("shard %s accepted on retry: %d previously accounted samples reversed out of the loss ledger", sub.Shard, reversed)
 	}
 	return nil
@@ -336,28 +576,23 @@ func (s *Service) refuse(sub Submission, counter *uint64) {
 	n := sub.Captured()
 	s.mu.Lock()
 	delete(s.admitted, sub.Shard)
+	// The refusal resolves the staged WAL record: it leaves the pending
+	// set (the barrier may pass it once the refusal itself is in a
+	// checkpoint's ledger). No refusal record is written — on a crash the
+	// retained admit record replays as a merge, which conserves the same
+	// captured samples as Samples instead of Lost.
+	if !sub.walPos.IsZero() {
+		delete(s.pending, sub.walPos)
+	}
 	*counter++
 	_, seen := s.refusedLoss[sub.Shard]
 	if !seen {
 		s.refusedLoss[sub.Shard] = n
 		s.lostSamp += n
-	}
-	s.mu.Unlock()
-	if !seen {
+		// Ledger entry and aggregate loss move in one critical section so
+		// a checkpoint snapshot sees both or neither.
 		s.agg.RecordLoss(n)
 	}
-}
-
-// accountMergeLoss records an admitted-but-unmergeable submission's
-// captured samples as aggregate loss. The shard stays in the admitted
-// set — the failure is permanent (configuration skew), so a retry must
-// dedupe, not re-merge.
-func (s *Service) accountMergeLoss(sub Submission) {
-	n := sub.Captured()
-	s.agg.RecordLoss(n)
-	s.mu.Lock()
-	s.mergeFail++
-	s.lostSamp += n
 	s.mu.Unlock()
 }
 
@@ -375,23 +610,40 @@ func (s *Service) run() {
 }
 
 // merge folds one submission into the aggregate and checkpoints through
-// the breaker on the configured cadence.
+// the breaker on the configured cadence. The merge (or merge-failure
+// loss accounting), the applied-ledger mark, and the pending-position
+// release happen in one critical section: a checkpoint snapshot either
+// sees the shard fully resolved or not at all, never half-applied.
 func (s *Service) merge(sub Submission) {
 	if s.cfg.mergeHook != nil {
 		s.cfg.mergeHook(sub)
 	}
-	if err := s.agg.Merge(sub.DB); err != nil {
+	s.mu.Lock()
+	err := s.agg.Merge(sub.DB)
+	if err != nil {
 		// Admission screens configurations, so this is rare (e.g. metric
 		// registration skew) — but it still must be accounted, not lost.
-		s.accountMergeLoss(sub)
-		s.logf("merge failed for shard %s: %v (accounted as loss)", sub.Shard, err)
-		return
+		// The shard still joins the applied set: the failure is permanent
+		// and deterministic, so a retry must dedupe and a replay must
+		// skip (replaying would fail-and-account identically, but only
+		// when the checkpoint predates the resolution).
+		n := sub.Captured()
+		s.agg.RecordLoss(n)
+		s.mergeFail++
+		s.lostSamp += n
+	} else {
+		s.merged++
 	}
-	s.mu.Lock()
-	s.merged++
+	s.applied[sub.Shard] = true
+	if !sub.walPos.IsZero() {
+		delete(s.pending, sub.walPos)
+	}
 	s.sinceCkpt++
 	due := s.cfg.CheckpointPath != "" && s.sinceCkpt >= s.cfg.CheckpointEvery
 	s.mu.Unlock()
+	if err != nil {
+		s.logf("merge failed for shard %s: %v (accounted as loss)", sub.Shard, err)
+	}
 	if due {
 		s.checkpoint()
 	}
@@ -416,6 +668,74 @@ func (s *Service) checkpoint() {
 	if err != nil && !errors.Is(err, ErrBreakerOpen) {
 		s.logf("checkpoint failed: %v", err)
 	}
+}
+
+// snapshotCheckpoint captures a consistent checkpoint under mu: the
+// serialized aggregate, the full ledger, and the WAL barrier (the
+// lowest pending position, or the head when nothing is in flight).
+// Every state transition elsewhere is atomic under the same mutex, so
+// the snapshot can never catch a ledger entry without its aggregate
+// delta or vice versa. The file write happens outside the lock.
+func (s *Service) snapshotCheckpoint() (*Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf bytes.Buffer
+	if err := s.agg.Save(&buf); err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{
+		Profile:         buf.Bytes(),
+		Applied:         make([]string, 0, len(s.applied)),
+		RefusedLoss:     make(map[string]uint64, len(s.refusedLoss)),
+		HandoffFrom:     make(map[string]string, len(s.handoffFrom)),
+		AppliedHandoffs: make([]string, 0, len(s.appliedHandoffs)),
+	}
+	for sh := range s.applied {
+		ck.Applied = append(ck.Applied, sh)
+	}
+	sort.Strings(ck.Applied)
+	for sh, n := range s.refusedLoss {
+		ck.RefusedLoss[sh] = n
+	}
+	for sh, from := range s.handoffFrom {
+		ck.HandoffFrom[sh] = from
+	}
+	for key := range s.appliedHandoffs {
+		ck.AppliedHandoffs = append(ck.AppliedHandoffs, key)
+	}
+	sort.Strings(ck.AppliedHandoffs)
+	if s.wal != nil {
+		ck.Barrier = s.wal.Head()
+		for pos := range s.pending {
+			if pos.Before(ck.Barrier) {
+				ck.Barrier = pos
+			}
+		}
+	}
+	return ck, nil
+}
+
+// persistCheckpoint is the WAL-mode persist function: write the PMCK
+// envelope atomically, then advance the WAL barrier and reclaim the
+// segments the checkpoint now covers. Reclaim failure is logged, not
+// fatal — the records are merely redundant, and the next checkpoint
+// retries.
+func (s *Service) persistCheckpoint() error {
+	ck, err := s.snapshotCheckpoint()
+	if err != nil {
+		return err
+	}
+	if err := profile.WriteAtomic(s.cfg.CheckpointPath, func(w io.Writer) error {
+		return WriteCheckpoint(w, ck)
+	}); err != nil {
+		return err
+	}
+	if s.wal != nil && !ck.Barrier.IsZero() {
+		if _, err := s.wal.ReclaimBefore(ck.Barrier); err != nil {
+			s.logf("wal reclaim below %v failed: %v", ck.Barrier, err)
+		}
+	}
+	return nil
 }
 
 // BeginDrain stops admission (Submit starts refusing with ErrDraining)
@@ -506,7 +826,57 @@ func (s *Service) AcceptHandoff(h Handoff) (captured uint64, err error) {
 		return 0, err
 	}
 	captured = h.DB.Samples() + h.DB.Lost()
+	// WAL the whole handoff before applying it, like Submit: the donor
+	// only quarantines its own durable state after our 200, so the
+	// migrated samples must be durable here first. The record is keyed
+	// by its WAL position (stable across replays) so a replay after a
+	// crash applies it exactly once.
+	var pos wal.Pos
+	var ticket *wal.Ticket
+	if s.wal != nil {
+		rec, err := encodeHandoffRecord(h)
+		if err != nil {
+			return 0, fmt.Errorf("%w: encode handoff: %v", ErrWAL, err)
+		}
+		s.mu.Lock()
+		var t *wal.Ticket
+		pos, t, err = s.wal.Stage(rec)
+		if err != nil {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("%w: %v", ErrWAL, err)
+		}
+		s.pending[pos] = struct{}{}
+		ticket = t
+		s.mu.Unlock()
+		if err := ticket.Wait(); err != nil {
+			s.mu.Lock()
+			delete(s.pending, pos)
+			s.mu.Unlock()
+			return 0, fmt.Errorf("%w: fsync: %v", ErrWAL, err)
+		}
+	}
 	s.mu.Lock()
+	mergeErr := s.applyHandoffLocked(h, captured)
+	if !pos.IsZero() {
+		s.appliedHandoffs[pos.String()] = true
+		delete(s.pending, pos)
+	}
+	due := mergeErr == nil && s.cfg.CheckpointPath != "" && s.sinceCkpt >= s.cfg.CheckpointEvery
+	s.mu.Unlock()
+	if mergeErr != nil {
+		return 0, fmt.Errorf("ingest: handoff from %s unmergeable (accounted as loss): %w", h.From, mergeErr)
+	}
+	s.logf("handoff from %s: %d captured samples (%d shards) merged", h.From, captured, len(h.Shards))
+	if due {
+		s.checkpoint()
+	}
+	return captured, nil
+}
+
+// applyHandoffLocked folds a handoff into ledger and aggregate in one
+// atomic step — shared verbatim by the live path and WAL replay so a
+// replayed handoff reconstructs the identical state. Caller holds mu.
+func (s *Service) applyHandoffLocked(h Handoff, captured uint64) error {
 	for _, sh := range h.Shards {
 		if !s.admitted[sh] {
 			s.admitted[sh] = true
@@ -515,27 +885,17 @@ func (s *Service) AcceptHandoff(h Handoff) (captured uint64, err error) {
 	}
 	s.handoffsIn++
 	s.handoffCapt += captured
-	s.mu.Unlock()
 	if err := s.agg.Merge(h.DB); err != nil {
 		// Past the config screen a merge failure is metric-set skew:
 		// conserve by accounting the donor's whole captured population as
 		// loss rather than silently dropping it from the fleet sum.
 		s.agg.RecordLoss(captured)
-		s.mu.Lock()
 		s.mergeFail++
 		s.lostSamp += captured
-		s.mu.Unlock()
-		return 0, fmt.Errorf("ingest: handoff from %s unmergeable (accounted as loss): %w", h.From, err)
+		return err
 	}
-	s.logf("handoff from %s: %d captured samples (%d shards) merged", h.From, captured, len(h.Shards))
-	s.mu.Lock()
 	s.sinceCkpt++
-	due := s.cfg.CheckpointPath != "" && s.sinceCkpt >= s.cfg.CheckpointEvery
-	s.mu.Unlock()
-	if due {
-		s.checkpoint()
-	}
-	return captured, nil
+	return nil
 }
 
 // MarkHandedOff records that this instance's aggregate has been shipped
@@ -592,6 +952,7 @@ func (s *Service) Stats() Stats {
 	st.Breaker = s.brk.Stats()
 	st.Draining = s.draining.Load()
 	st.HandedOff = s.handedOff.Load()
+	st.WAL = s.WALHealth()
 	// One counters snapshot (single RLock, no deep copy) instead of three
 	// separate aggregate reads: stats polls must never contend with
 	// merges under flood.
@@ -600,6 +961,135 @@ func (s *Service) Stats() Stats {
 	st.Lost = c.Lost
 	st.LossRate = c.LossRate
 	return st
+}
+
+// replayRecord is the wal.Open apply callback: reconstruct one record's
+// effect through the ledger's skip logic. It runs single-threaded
+// during construction, before Start; mu is still taken so the shared
+// apply helpers stay uniform. An undecodable-but-CRC-valid record is an
+// encoder bug or format skew — recovery fails loudly rather than
+// guessing at acknowledged data.
+func (s *Service) replayRecord(pos wal.Pos, payload []byte) error {
+	kind, sub, h, err := decodeWALRecord(payload)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case walKindAdmit:
+		s.replayAdmit(sub)
+	case walKindHandoff:
+		s.replayHandoff(pos, h)
+	}
+	return nil
+}
+
+// replayAdmit re-applies one admit record. Skip rules keep replay
+// idempotent against the checkpoint and against duplicate records:
+// an already-resolved shard is covered by the checkpoint image; a
+// standing refusal is reversed exactly as a live accepted retry would
+// reverse it, then the payload merges. A submission that was refused
+// pre-crash therefore replays as a merge — its captured samples count
+// once either way, as Samples instead of Lost.
+func (s *Service) replayAdmit(sub Submission) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.applied[sub.Shard] {
+		s.admitted[sub.Shard] = true
+		return
+	}
+	s.admitted[sub.Shard] = true
+	if n, wasRefused := s.refusedLoss[sub.Shard]; wasRefused {
+		delete(s.refusedLoss, sub.Shard)
+		s.lostSamp -= n
+		s.lostRev += n
+		s.agg.ReverseLoss(n)
+	}
+	if err := s.agg.Merge(sub.DB); err != nil {
+		n := sub.Captured()
+		s.agg.RecordLoss(n)
+		s.mergeFail++
+		s.lostSamp += n
+	} else {
+		s.merged++
+	}
+	s.applied[sub.Shard] = true
+	s.replayedRecords++
+}
+
+// replayHandoff re-applies one handoff record unless its position is
+// already in the checkpoint's applied-handoffs set.
+func (s *Service) replayHandoff(pos wal.Pos, h Handoff) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.appliedHandoffs[pos.String()] {
+		return
+	}
+	captured := h.DB.Samples() + h.DB.Lost()
+	_ = s.applyHandoffLocked(h, captured) // merge failure is accounted inside
+	s.appliedHandoffs[pos.String()] = true
+	s.replayedRecords++
+}
+
+// WALHealth snapshots the WAL's health section, nil when disabled.
+func (s *Service) WALHealth() *WALHealth {
+	if s.wal == nil {
+		return nil
+	}
+	st := s.wal.Stats()
+	s.mu.Lock()
+	pending := len(s.pending)
+	s.mu.Unlock()
+	return &WALHealth{
+		Segments:           st.Segments,
+		SegmentSeq:         st.SegmentSeq,
+		AppendedBytes:      st.AppendedBytes,
+		BytesSinceBarrier:  st.BytesSinceBarrier,
+		Appends:            st.Appends,
+		Syncs:              st.Syncs,
+		SyncErrors:         st.SyncErrors,
+		Rotations:          st.Rotations,
+		LastSyncAgeMS:      st.LastSyncAge.Milliseconds(),
+		OldestPendingAgeMS: st.OldestPendingAge.Milliseconds(),
+		PendingRecords:     pending,
+		ReplayRecords:      s.walReplay.Records,
+		ReplayDurationMS:   s.walReplay.Duration.Milliseconds(),
+		Stalled:            st.OldestPendingAge > s.cfg.WALStallAfter,
+	}
+}
+
+// WALStalled reports whether the WAL's oldest unsynced record has aged
+// past Config.WALStallAfter — the readiness probe's degrade signal.
+// Always false with the WAL disabled.
+func (s *Service) WALStalled() bool {
+	if s.wal == nil {
+		return false
+	}
+	return s.wal.Stats().OldestPendingAge > s.cfg.WALStallAfter
+}
+
+// CloseWAL syncs and closes the write-ahead log (no-op when disabled).
+// Call after Drain: a closed WAL refuses further appends.
+func (s *Service) CloseWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
+}
+
+// QuarantineWALDir closes the WAL and renames its directory aside with
+// the given suffix (e.g. ".handedoff"). After a successful drain
+// handoff the migrated samples live at the successor; a restart that
+// replayed this WAL would double-count them, so the whole log is set
+// aside exactly like the checkpoint.
+func (s *Service) QuarantineWALDir(suffix string) error {
+	if s.wal == nil {
+		return nil
+	}
+	dir := s.wal.Dir()
+	if err := s.wal.Close(); err != nil {
+		return err
+	}
+	return os.Rename(dir, dir+suffix)
 }
 
 func (s *Service) logf(format string, args ...any) {

@@ -1,0 +1,92 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"profileme/internal/profile"
+)
+
+// WAL record payloads reuse the submission codec's double-envelope
+// layering: a small JSON frame naming the record kind, wrapped around
+// the binary profile envelope of DESIGN.md §7. The WAL adds its own
+// CRC32-C frame per record, so a damaged record is cut at the WAL layer
+// before this codec ever sees it; the inner profile CRC still guards
+// against encode-time corruption.
+//
+// Only two kinds exist. Refusals deliberately have no record: a refusal
+// is just the ABSENCE of a resolution for an admit record, and the
+// standing-loss ledger entry rides in the next checkpoint. Replaying an
+// admit record whose submission was refused pre-crash merges it instead
+// — strictly better (the payload was durable anyway), and conservation
+// holds because the shard's captured samples count once either way.
+const (
+	walKindAdmit   = "admit"
+	walKindHandoff = "handoff"
+)
+
+// ErrBadWALRecord reports a structurally invalid WAL record payload —
+// possible only through an encoder bug or post-CRC memory corruption,
+// so replay treats it as a torn record (stop, don't crash).
+var ErrBadWALRecord = errors.New("ingest: malformed wal record")
+
+// walEnvelope is the JSON frame ([]byte marshals as base64).
+type walEnvelope struct {
+	Kind    string   `json:"kind"`
+	Shard   string   `json:"shard,omitempty"`  // admit
+	From    string   `json:"from,omitempty"`   // handoff: donor instance
+	Shards  []string `json:"shards,omitempty"` // handoff: donor ledger
+	Profile []byte   `json:"profile"`          // profile.Save bytes
+}
+
+// encodeAdmitRecord serializes a submission for the WAL. The shard DB
+// is re-encoded rather than reusing the wire bytes because Submit's
+// callers may construct Submissions in-process (tests, replay of
+// witness copies) with no wire form at hand.
+func encodeAdmitRecord(sub Submission) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := sub.DB.Save(&buf); err != nil {
+		return nil, err
+	}
+	return json.Marshal(walEnvelope{Kind: walKindAdmit, Shard: sub.Shard, Profile: buf.Bytes()})
+}
+
+// encodeHandoffRecord serializes an accepted drain handoff for the WAL.
+func encodeHandoffRecord(h Handoff) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := h.DB.Save(&buf); err != nil {
+		return nil, err
+	}
+	return json.Marshal(walEnvelope{Kind: walKindHandoff, From: h.From, Shards: h.Shards, Profile: buf.Bytes()})
+}
+
+// decodeWALRecord parses one WAL record payload. Exactly one of sub or
+// h is meaningful, selected by kind.
+func decodeWALRecord(payload []byte) (kind string, sub Submission, h Handoff, err error) {
+	var env walEnvelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return "", Submission{}, Handoff{}, fmt.Errorf("ingest: wal record envelope: %v: %w", err, ErrBadWALRecord)
+	}
+	if len(env.Profile) == 0 {
+		return "", Submission{}, Handoff{}, fmt.Errorf("ingest: wal %s record without a profile payload: %w", env.Kind, ErrBadWALRecord)
+	}
+	db, err := profile.LoadDB(bytes.NewReader(env.Profile))
+	if err != nil {
+		return "", Submission{}, Handoff{}, fmt.Errorf("ingest: wal %s record: %w", env.Kind, err)
+	}
+	switch env.Kind {
+	case walKindAdmit:
+		if env.Shard == "" {
+			return "", Submission{}, Handoff{}, fmt.Errorf("ingest: wal admit record without a shard id: %w", ErrBadWALRecord)
+		}
+		return walKindAdmit, Submission{Shard: env.Shard, DB: db}, Handoff{}, nil
+	case walKindHandoff:
+		if env.From == "" {
+			return "", Submission{}, Handoff{}, fmt.Errorf("ingest: wal handoff record without a donor id: %w", ErrBadWALRecord)
+		}
+		return walKindHandoff, Submission{}, Handoff{From: env.From, DB: db, Shards: env.Shards}, nil
+	}
+	return "", Submission{}, Handoff{}, fmt.Errorf("ingest: wal record kind %q: %w", env.Kind, ErrBadWALRecord)
+}

@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -60,11 +61,29 @@ func WriteAtomic(path string, write func(io.Writer) error) (err error) {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("profile: atomic write %s: %w", path, err)
 	}
-	// Sync the directory so the rename itself survives power loss;
-	// best-effort because not every filesystem supports it.
-	if d, derr := os.Open(dir); derr == nil {
-		d.Sync()
-		d.Close()
+	// Sync the directory so the rename itself survives power loss. A
+	// rename that is not durable breaks the atomic-write contract (a
+	// crash could resurrect the old image after the new one was
+	// acknowledged), so failures propagate — except filesystems that
+	// cannot fsync a directory at all, where the rename is as durable as
+	// that filesystem gets.
+	if err = syncDir(dir); err != nil {
+		return fmt.Errorf("profile: atomic write %s: dir sync: %w", path, err)
 	}
 	return nil
+}
+
+// syncDir fsyncs a directory, tolerating only filesystems where the
+// operation is unsupported (EINVAL/ENOTSUP spellings vary; Go maps them
+// to errors.ErrUnsupported where it can).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		return err
+	}
+	return d.Close()
 }

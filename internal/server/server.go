@@ -11,10 +11,12 @@
 //	POST /v1/submit        shard profile submission (ingest JSON envelope)
 //	GET  /v1/hotpcs?n=10   top-N hot PCs with loss-corrected estimates
 //	GET  /v1/estimate?pc=  per-PC estimator rollup (optionally &event=)
-//	GET  /v1/stats         ingest/queue/breaker/loss counters
+//	GET  /v1/stats         ingest/queue/breaker/loss/WAL/witness counters
 //	GET  /v1/report?n=15   plain-text hot-instruction table
+//	GET  /v1/ledger        admission ledger (anti-entropy reads this)
+//	POST /v1/witness       witness-copy store (see witness.go)
 //	GET  /healthz          liveness (200 while the process serves)
-//	GET  /readyz           readiness (503 when draining or breaker open)
+//	GET  /readyz           readiness (503 when draining, breaker open, or WAL stalled)
 package server
 
 import (
@@ -81,8 +83,9 @@ func (c *Config) normalize() {
 
 // Server wires the ingest service to HTTP handlers.
 type Server struct {
-	cfg Config
-	svc *ingest.Service
+	cfg     Config
+	svc     *ingest.Service
+	witness *WitnessStore
 
 	logMu sync.Mutex
 
@@ -96,7 +99,7 @@ type Server struct {
 // New builds a Server over an ingest service.
 func New(cfg Config, svc *ingest.Service) *Server {
 	cfg.normalize()
-	return &Server{cfg: cfg, svc: svc}
+	return &Server{cfg: cfg, svc: svc, witness: NewWitnessStore(0)}
 }
 
 // Handler returns the route table.
@@ -108,6 +111,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/estimate", s.query(s.handleEstimate))
 	mux.HandleFunc("/v1/report", s.query(s.handleReport))
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/ledger", s.handleLedger)
+	mux.HandleFunc("/v1/witness", s.handleWitnessPut)
+	mux.HandleFunc("/v1/witness/ledger", s.handleWitnessLedger)
+	mux.HandleFunc("/v1/witness/fetch", s.handleWitnessFetch)
+	mux.HandleFunc("/v1/witness/prune", s.handleWitnessPrune)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	return mux
@@ -130,6 +138,24 @@ func (s *Server) writeErr(w http.ResponseWriter, status int, kind, msg string) {
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
 	}
 	writeJSON(w, status, apiError{Error: msg, Kind: kind})
+}
+
+// readBounded reads a request body up to max bytes. On failure it writes
+// the error response itself (413 oversized, 400 otherwise) and returns a
+// non-nil error so the handler can just return.
+func (s *Server) readBounded(w http.ResponseWriter, r *http.Request, max int64) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, max))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeErr(w, http.StatusRequestEntityTooLarge, "oversized",
+				fmt.Sprintf("request body exceeds %d bytes", max))
+			return nil, err
+		}
+		s.writeErr(w, http.StatusBadRequest, "body", err.Error())
+		return nil, err
+	}
+	return body, nil
 }
 
 // handleSubmit is the ingest edge. Every failure is typed and
@@ -182,6 +208,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusServiceUnavailable, "draining", err.Error())
 	case errors.Is(err, ingest.ErrConfigMismatch):
 		s.writeErr(w, http.StatusConflict, "config-mismatch", err.Error())
+	case errors.Is(err, ingest.ErrWAL):
+		// The durability log could not make the 202 promise; refusing is
+		// honest — the client retries against an instance whose WAL works.
+		s.logf("503 shard %s: WAL append failed (%v)", sub.Shard, err)
+		s.writeErr(w, http.StatusServiceUnavailable, "wal", err.Error())
 	case errors.Is(err, ingest.ErrDuplicate):
 		// The shard is already in the pipeline; acknowledge so the client
 		// stops retrying, and say it was a duplicate for observability.
@@ -243,6 +274,9 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ingest.ErrDraining), errors.Is(err, ingest.ErrHandedOff):
 		s.logf("503 handoff from %s: this instance is retiring too (%v)", h.From, err)
 		s.writeErr(w, http.StatusServiceUnavailable, "draining", err.Error())
+	case errors.Is(err, ingest.ErrWAL):
+		s.logf("503 handoff from %s: WAL append failed (%v)", h.From, err)
+		s.writeErr(w, http.StatusServiceUnavailable, "wal", err.Error())
 	case errors.Is(err, ingest.ErrConfigMismatch):
 		s.writeErr(w, http.StatusConflict, "config-mismatch", err.Error())
 	case err != nil:
@@ -413,12 +447,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 // serverStats augments the ingest stats with HTTP-layer counters.
 type serverStats struct {
 	ingest.Stats
-	Instance        string `json:"instance,omitempty"`
-	Submissions     uint64 `json:"submissions"`
-	HandoffRequests uint64 `json:"handoff_requests"`
-	Queries         uint64 `json:"queries"`
-	QueriesShed     uint64 `json:"queries_shed"`
-	InFlight        int64  `json:"queries_in_flight"`
+	Instance        string       `json:"instance,omitempty"`
+	Submissions     uint64       `json:"submissions"`
+	HandoffRequests uint64       `json:"handoff_requests"`
+	Queries         uint64       `json:"queries"`
+	QueriesShed     uint64       `json:"queries_shed"`
+	InFlight        int64        `json:"queries_in_flight"`
+	Witness         WitnessStats `json:"witness"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -430,6 +465,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Queries:         s.queriesTotal.Load(),
 		QueriesShed:     s.queriesShed.Load(),
 		InFlight:        s.inFlight.Load(),
+		Witness:         s.witness.Stats(),
+	})
+}
+
+// handleLedger publishes the admission ledger: the distinct shard ids
+// this instance has admitted (queued or merged). Anti-entropy compares a
+// peer's witness ledger against this to find submissions the instance
+// lost with its disk.
+func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
+	shards := s.svc.AdmittedShards()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"instance": s.cfg.Instance,
+		"shards":   shards,
+		"count":    len(shards),
 	})
 }
 
@@ -446,6 +495,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusServiceUnavailable, "draining", "shutting down: submissions refused, queue flushing")
 	case s.svc.Breaker().State() == ingest.BreakerOpen:
 		s.writeErr(w, http.StatusServiceUnavailable, "breaker-open", "checkpoint persistence suspended")
+	case s.svc.WALStalled():
+		// The durability log has records waiting on fsync for longer than
+		// the stall threshold — every 202 would block on a sick disk.
+		// Routers treat this like draining and steer submissions away.
+		s.writeErr(w, http.StatusServiceUnavailable, "wal-stalled", "WAL fsync is not keeping up; submissions would stall")
 	default:
 		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "queue_depth": s.svc.QueueDepth()})
 	}

@@ -1,0 +1,168 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ReplayInfo reports what a replay found and what it had to repair.
+type ReplayInfo struct {
+	// Records and Bytes cover the intact records applied.
+	Records int   `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	// Segments is how many segment files were read.
+	Segments int `json:"segments"`
+	// Truncated is true when a torn or invalid record ended the replay
+	// early; TruncatedAt is where. Open physically truncates the file
+	// there and quarantines any later segments (*.quarantined) so the
+	// writer resumes from a consistent tail.
+	Truncated   bool `json:"truncated"`
+	TruncatedAt Pos  `json:"truncated_at,omitempty"`
+	// Quarantined counts later segments set aside after a truncation.
+	Quarantined int `json:"quarantined"`
+	// Duration is the wall-clock replay time (the boot-latency cost of
+	// the WAL, exposed in /v1/stats).
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Replay reads the log at dir without repairing it, applying every
+// intact record to apply in append order and stopping at the first torn
+// or invalid record. It never writes; use Open to replay AND repair.
+// A missing directory replays zero records.
+func Replay(dir string, apply func(pos Pos, payload []byte) error) (ReplayInfo, error) {
+	cfg := Config{Dir: dir}
+	if err := cfg.normalize(); err != nil {
+		return ReplayInfo{}, err
+	}
+	return replay(cfg, apply, false)
+}
+
+// replay is the shared scan. With repair set, the first invalid record
+// truncates its segment in place and later segments are quarantined —
+// the write-side contract that acknowledged records survive and
+// unacknowledged bytes are removed rather than resurrected.
+func replay(cfg Config, apply func(pos Pos, payload []byte) error, repair bool) (ReplayInfo, error) {
+	start := cfg.now()
+	var info ReplayInfo
+	seqs, err := listSegments(cfg.Dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return info, nil
+		}
+		return info, fmt.Errorf("wal: replay: %w", err)
+	}
+	for i, seq := range seqs {
+		path := filepath.Join(cfg.Dir, segName(seq))
+		goodOff, segErr := replaySegment(cfg, path, seq, apply, &info)
+		if segErr != nil {
+			return info, segErr
+		}
+		if info.Truncated {
+			if repair {
+				if info.TruncatedAt.Off == 0 {
+					// The segment header itself is unreadable or foreign.
+					// Truncating to zero would leave a headerless file the
+					// writer appends to blindly; set the whole segment
+					// aside instead and keep its bytes for forensics.
+					if err := os.Rename(path, path+".quarantined"); err != nil {
+						return info, fmt.Errorf("wal: quarantine %s: %w", path, err)
+					}
+					info.Quarantined++
+				} else if err := os.Truncate(path, goodOff); err != nil {
+					return info, fmt.Errorf("wal: truncate %s at %d: %w", path, goodOff, err)
+				}
+				for _, later := range seqs[i+1:] {
+					lp := filepath.Join(cfg.Dir, segName(later))
+					if err := os.Rename(lp, lp+".quarantined"); err != nil {
+						return info, fmt.Errorf("wal: quarantine %s: %w", lp, err)
+					}
+					info.Quarantined++
+				}
+				if err := fsyncDir(cfg.Dir); err != nil {
+					return info, fmt.Errorf("wal: replay repair dir sync: %w", err)
+				}
+			} else {
+				info.Quarantined = len(seqs) - i - 1
+			}
+			break
+		}
+	}
+	info.Segments = len(seqs) - info.Quarantined
+	info.Duration = cfg.now().Sub(start)
+	return info, nil
+}
+
+// replaySegment scans one segment, applying intact records. It returns
+// the offset of the first byte past the last intact record. A torn or
+// invalid frame sets info.Truncated/TruncatedAt and stops the scan; an
+// unreadable or foreign header counts as invalid at the header itself
+// (the whole segment is suspect).
+func replaySegment(cfg Config, path string, seq uint64, apply func(Pos, []byte) error, info *ReplayInfo) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: replay %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var hdr [segHeaderBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		info.Truncated = true
+		info.TruncatedAt = Pos{Seg: seq, Off: 0}
+		return 0, nil
+	}
+	if string(hdr[0:4]) != segMagic ||
+		binary.LittleEndian.Uint32(hdr[4:8]) != segVersion ||
+		binary.LittleEndian.Uint64(hdr[8:16]) != seq {
+		info.Truncated = true
+		info.TruncatedAt = Pos{Seg: seq, Off: 0}
+		return 0, nil
+	}
+	goodOff := int64(segHeaderBytes)
+	var rec [recHeaderBytes]byte
+	var payload bytes.Buffer
+	for {
+		pos := Pos{Seg: seq, Off: goodOff}
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			if err == io.EOF {
+				return goodOff, nil // clean end of segment
+			}
+			// Torn record header.
+			info.Truncated = true
+			info.TruncatedAt = pos
+			return goodOff, nil
+		}
+		n := binary.LittleEndian.Uint32(rec[0:4])
+		want := binary.LittleEndian.Uint32(rec[4:8])
+		if int64(n) > cfg.MaxRecordBytes {
+			info.Truncated = true
+			info.TruncatedAt = pos
+			return goodOff, nil
+		}
+		payload.Reset()
+		if _, err := io.CopyN(&payload, r, int64(n)); err != nil {
+			info.Truncated = true
+			info.TruncatedAt = pos
+			return goodOff, nil
+		}
+		if crc32.Checksum(payload.Bytes(), crcTable) != want {
+			info.Truncated = true
+			info.TruncatedAt = pos
+			return goodOff, nil
+		}
+		if apply != nil {
+			if err := apply(pos, payload.Bytes()); err != nil {
+				return goodOff, fmt.Errorf("wal: replay %s at %v: apply: %w", path, pos, err)
+			}
+		}
+		goodOff += int64(recHeaderBytes) + int64(n)
+		info.Records++
+		info.Bytes += int64(recHeaderBytes) + int64(n)
+	}
+}

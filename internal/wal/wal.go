@@ -1,0 +1,662 @@
+// Package wal is a crash-only write-ahead log: an append-only sequence
+// of CRC-framed records spread across rotated segment files, with group
+// commit so hot-path appenders share fsyncs instead of paying one each.
+//
+// The durability contract mirrors the rest of the stack's envelope
+// conventions (DESIGN.md §7/§9): every record is length-prefixed and
+// CRC32-C framed, every segment opens with a versioned header, and a
+// reader can always distinguish "the writer crashed mid-record" (torn
+// tail, truncate and continue) from "the bytes rotted" (checksum
+// mismatch, also truncate — everything after an invalid record is
+// suspect). Replay applies records in append order and stops at the
+// first invalid frame, which is exactly the prefix the writer could
+// have acknowledged: a record is only acknowledged (Append returns)
+// after an fsync covered it, so a torn record was never promised to
+// anyone.
+//
+// Rotation is directory-fsync-correct: a new segment file is created,
+// its header written and synced, and the parent directory synced before
+// any record lands in it — a power cut between those steps loses an
+// empty file, never an acknowledged record.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Segment and record framing.
+const (
+	segMagic   = "PMWS"
+	segVersion = 1
+	// segHeaderBytes: magic[4] + version u32 + seq u64.
+	segHeaderBytes = 16
+	// recHeaderBytes: payload length u32 + CRC32-C u32.
+	recHeaderBytes = 8
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Typed failures.
+var (
+	// ErrClosed: the log was closed; no further appends are accepted.
+	ErrClosed = errors.New("wal: log closed")
+	// ErrTooLarge: one record exceeds the configured record cap.
+	ErrTooLarge = errors.New("wal: record exceeds size cap")
+)
+
+// Pos addresses one record: the segment sequence number it lives in and
+// its byte offset there. Positions order lexicographically by (Seg,
+// Off) and are stable across replays — the same WAL yields the same
+// positions, so a position is a durable identity for its record.
+type Pos struct {
+	Seg uint64
+	Off int64
+}
+
+// Before reports whether p orders strictly before q.
+func (p Pos) Before(q Pos) bool {
+	if p.Seg != q.Seg {
+		return p.Seg < q.Seg
+	}
+	return p.Off < q.Off
+}
+
+// IsZero reports whether p is the zero position.
+func (p Pos) IsZero() bool { return p.Seg == 0 && p.Off == 0 }
+
+// String renders seg:off.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Seg, p.Off) }
+
+// Config parameterizes a Log. Zero values get usable defaults.
+type Config struct {
+	// Dir is the segment directory (required; created if missing).
+	Dir string
+	// SegmentBytes rotates the active segment once it crosses this size
+	// (default 8 MiB).
+	SegmentBytes int64
+	// SegmentAge rotates the active segment once it is this old and
+	// non-empty (0 = size-only rotation). Age rotation bounds how much
+	// history one file can hold, so barrier reclaim can actually free
+	// space on a slow trickle of appends.
+	SegmentAge time.Duration
+	// FsyncWindow is the group-commit coalescing window: how long the
+	// syncer waits after the first record of a batch before fsyncing, so
+	// concurrent appenders share the write. 0 means no added delay —
+	// batches still form naturally while the previous fsync is in
+	// flight (commit pipelining), which is the right default on fast
+	// disks. Raise it on devices where fsync dominates.
+	FsyncWindow time.Duration
+	// MaxRecordBytes caps one record's payload (default 64 MiB) so a
+	// corrupt length field can never drive allocation on replay.
+	MaxRecordBytes int64
+
+	now func() time.Time // test seam
+}
+
+func (c *Config) normalize() error {
+	if c.Dir == "" {
+		return errors.New("wal: config needs a directory")
+	}
+	if c.SegmentBytes == 0 {
+		c.SegmentBytes = 8 << 20
+	}
+	if c.SegmentBytes < segHeaderBytes+recHeaderBytes {
+		return fmt.Errorf("wal: segment size %d too small", c.SegmentBytes)
+	}
+	if c.MaxRecordBytes == 0 {
+		c.MaxRecordBytes = 64 << 20
+	}
+	if c.MaxRecordBytes < 1 {
+		return fmt.Errorf("wal: record cap %d < 1", c.MaxRecordBytes)
+	}
+	if c.FsyncWindow < 0 {
+		c.FsyncWindow = 0
+	}
+	if c.SegmentAge < 0 {
+		c.SegmentAge = 0
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the log's health — the substrate
+// for /v1/stats "wal" and the /readyz stall probe.
+type Stats struct {
+	// Segments is how many segment files currently exist on disk.
+	Segments int `json:"segments"`
+	// SegmentSeq is the active segment's sequence number.
+	SegmentSeq uint64 `json:"segment_seq"`
+	// AppendedBytes is the monotonic total of record bytes ever staged
+	// (headers included) since Open.
+	AppendedBytes int64 `json:"appended_bytes"`
+	// BytesSinceBarrier is how much has been appended since the last
+	// barrier (ReclaimBefore) — the replay debt a crash right now would
+	// incur.
+	BytesSinceBarrier int64 `json:"bytes_since_barrier"`
+	// Appends counts records staged; Syncs counts fsyncs; SyncErrors
+	// counts failed fsyncs (each one failed a whole batch of appends).
+	Appends    uint64 `json:"appends"`
+	Syncs      uint64 `json:"syncs"`
+	SyncErrors uint64 `json:"sync_errors"`
+	Rotations  uint64 `json:"rotations"`
+	// LastSyncAge is the time since the last successful fsync (negative
+	// means none yet). OldestPendingAge is how long the oldest staged-
+	// but-unsynced record has been waiting — the stall signal: a healthy
+	// group commit keeps it under the fsync window, a dead disk lets it
+	// grow without bound.
+	LastSyncAge      time.Duration `json:"last_sync_age_ns"`
+	OldestPendingAge time.Duration `json:"oldest_pending_age_ns"`
+}
+
+// batch is one group commit: every record staged while it was open
+// becomes durable (or fails) with a single fsync.
+type batch struct {
+	done   chan struct{}
+	opened time.Time
+	err    error
+}
+
+// Ticket is a staged record's claim on the next group commit.
+type Ticket struct{ b *batch }
+
+// Wait blocks until the record's batch has been fsynced and returns the
+// sync outcome. A record is durable if and only if Wait returns nil.
+func (t *Ticket) Wait() error {
+	<-t.b.done
+	return t.b.err
+}
+
+// Log is an append-only segmented write-ahead log. Stage/Append are safe
+// for concurrent use; one background syncer goroutine runs the group
+// commits.
+type Log struct {
+	cfg Config
+
+	mu         sync.Mutex
+	f          *os.File
+	seq        uint64 // active segment sequence
+	off        int64  // active segment size (bytes written, staged included)
+	segOpened  time.Time
+	segments   int
+	cur        *batch // open batch collecting staged records (nil = none)
+	closed     bool
+	wedged     error // fatal write error: a partial frame is on disk, so no further record may be acknowledged after it
+	barrier    Pos
+	barrierAt  int64 // AppendedBytes when the barrier was last advanced
+	appended   int64
+	appends    uint64
+	syncs      uint64
+	syncErrs   uint64
+	rotations  uint64
+	lastSync   time.Time
+	lastHealth error
+
+	kick chan struct{}
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// segName renders a segment file name; the fixed-width decimal keeps
+// lexical order equal to numeric order.
+func segName(seq uint64) string { return fmt.Sprintf("wal-%016d.log", seq) }
+
+// parseSegName inverts segName; ok is false for foreign files.
+func parseSegName(name string) (uint64, bool) {
+	var seq uint64
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	if len(mid) != 16 {
+		return 0, false
+	}
+	for _, r := range mid {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+		seq = seq*10 + uint64(r-'0')
+	}
+	return seq, true
+}
+
+// listSegments returns the segment sequences present in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSegName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// nextFreshSeq picks the first segment sequence for an empty log,
+// skipping past any *.quarantined segments left by replay repair.
+func nextFreshSeq(dir string) (uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var next uint64 = 1
+	for _, e := range ents {
+		name := strings.TrimSuffix(e.Name(), ".quarantined")
+		if seq, ok := parseSegName(name); ok && seq >= next {
+			next = seq + 1
+		}
+	}
+	return next, nil
+}
+
+// fsyncDir syncs a directory so renames/creates/removes inside it
+// survive power loss. Filesystems that cannot sync a directory
+// (EINVAL/ENOTSUP) are tolerated; real write errors are not.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		if errors.Is(err, errors.ErrUnsupported) {
+			return nil
+		}
+		// Some filesystems report EINVAL for directory fsync; treat any
+		// *Sync* failure on the handle that still allowed the open as
+		// unsupported only when the PathError says so.
+		var pe *os.PathError
+		if errors.As(err, &pe) && (pe.Err == os.ErrInvalid || pe.Err.Error() == "invalid argument" || pe.Err.Error() == "operation not supported") {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// Open opens (creating if needed) the log in cfg.Dir, replays every
+// intact record through apply in append order, repairs the tail (the
+// first torn or invalid record and everything after it is truncated
+// away — see Replay), and leaves the log ready to append. apply may be
+// nil when the caller only wants the write side of a fresh log.
+//
+// An apply error aborts Open: the caller's state machine could not
+// absorb a record the log had acknowledged, which is not a WAL-level
+// problem to paper over.
+func Open(cfg Config, apply func(pos Pos, payload []byte) error) (*Log, ReplayInfo, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, ReplayInfo{}, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, ReplayInfo{}, fmt.Errorf("wal: open: %w", err)
+	}
+	info, err := replay(cfg, apply, true)
+	if err != nil {
+		return nil, info, err
+	}
+	l := &Log{
+		cfg:  cfg,
+		kick: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+	}
+	seqs, err := listSegments(cfg.Dir)
+	if err != nil {
+		return nil, info, fmt.Errorf("wal: open: %w", err)
+	}
+	l.segments = len(seqs)
+	if len(seqs) == 0 {
+		// Start past any quarantined segments so positions in records we
+		// acknowledge from here on never collide with positions a previous
+		// incarnation may have handed out inside a now-quarantined file.
+		first, err := nextFreshSeq(cfg.Dir)
+		if err != nil {
+			return nil, info, fmt.Errorf("wal: open: %w", err)
+		}
+		if err := l.newSegmentLocked(first); err != nil {
+			return nil, info, err
+		}
+	} else {
+		last := seqs[len(seqs)-1]
+		f, err := os.OpenFile(filepath.Join(cfg.Dir, segName(last)), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, info, fmt.Errorf("wal: open segment %d: %w", last, err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, info, fmt.Errorf("wal: open segment %d: %w", last, err)
+		}
+		l.f, l.seq, l.off = f, last, st.Size()
+		l.segOpened = cfg.now()
+	}
+	// Resume the barrier at the start of the oldest retained segment:
+	// everything below it was reclaimed by a previous incarnation.
+	if len(seqs) > 0 {
+		l.barrier = Pos{Seg: seqs[0], Off: 0}
+	} else {
+		l.barrier = Pos{Seg: l.seq, Off: segHeaderBytes}
+	}
+	l.wg.Add(1)
+	go l.syncLoop()
+	return l, info, nil
+}
+
+// newSegmentLocked creates segment seq, writes and syncs its header, and
+// syncs the directory so the file's existence is durable before any
+// record can land in it. Caller holds l.mu (or is initializing).
+func (l *Log) newSegmentLocked(seq uint64) error {
+	path := filepath.Join(l.cfg.Dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment %d: %w", seq, err)
+	}
+	var hdr [segHeaderBytes]byte
+	copy(hdr[0:4], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], segVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: segment %d header: %w", seq, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: segment %d header sync: %w", seq, err)
+	}
+	if err := fsyncDir(l.cfg.Dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: segment %d dir sync: %w", seq, err)
+	}
+	l.f, l.seq, l.off = f, seq, segHeaderBytes
+	l.segOpened = l.cfg.now()
+	l.segments++
+	return nil
+}
+
+// rotateLocked seals the active segment (flush + sync) and opens the
+// next one. Records staged in the old segment are durable after this
+// returns — their batch tickets are released by the next group commit,
+// which syncs the new (possibly empty) file.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: rotate: seal segment %d: %w", l.seq, err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate: close segment %d: %w", l.seq, err)
+	}
+	l.rotations++
+	return l.newSegmentLocked(l.seq + 1)
+}
+
+// Stage frames and buffers one record into the active segment and
+// returns its position plus a Ticket for the group commit that will
+// make it durable. Stage itself is fast (one buffered write); the
+// caller decides when to block on durability via Ticket.Wait. The
+// record is NOT durable until Wait returns nil.
+func (l *Log) Stage(payload []byte) (Pos, *Ticket, error) {
+	if int64(len(payload)) > l.cfg.MaxRecordBytes {
+		return Pos{}, nil, fmt.Errorf("%w: %d > %d", ErrTooLarge, len(payload), l.cfg.MaxRecordBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return Pos{}, nil, ErrClosed
+	}
+	if l.wedged != nil {
+		return Pos{}, nil, fmt.Errorf("wal: wedged by earlier write failure: %w", l.wedged)
+	}
+	if l.off >= l.cfg.SegmentBytes ||
+		(l.cfg.SegmentAge > 0 && l.off > segHeaderBytes && l.cfg.now().Sub(l.segOpened) >= l.cfg.SegmentAge) {
+		if err := l.rotateLocked(); err != nil {
+			return Pos{}, nil, err
+		}
+	}
+	var hdr [recHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	pos := Pos{Seg: l.seq, Off: l.off}
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		l.wedged = err
+		return Pos{}, nil, fmt.Errorf("wal: stage: %w", err)
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		// A partial frame may now sit at l.off. Replay will truncate it
+		// as torn — which is only safe if nothing valid ever lands after
+		// it, so the log wedges rather than appending past damage.
+		l.wedged = err
+		return Pos{}, nil, fmt.Errorf("wal: stage: %w", err)
+	}
+	n := int64(recHeaderBytes + len(payload))
+	l.off += n
+	l.appended += n
+	l.appends++
+	if l.cur == nil {
+		l.cur = &batch{done: make(chan struct{}), opened: l.cfg.now()}
+		select {
+		case l.kick <- struct{}{}:
+		default:
+		}
+	}
+	return pos, &Ticket{b: l.cur}, nil
+}
+
+// Append stages one record and blocks until its group commit completes:
+// when Append returns nil, the record is durable.
+func (l *Log) Append(payload []byte) (Pos, error) {
+	pos, t, err := l.Stage(payload)
+	if err != nil {
+		return Pos{}, err
+	}
+	return pos, t.Wait()
+}
+
+// syncLoop is the group-commit engine: each kick marks an open batch;
+// after the coalescing window, one fsync covers every record staged
+// into it, and the batch's waiters are released together.
+func (l *Log) syncLoop() {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.quit:
+			return
+		case <-l.kick:
+		}
+		if w := l.cfg.FsyncWindow; w > 0 {
+			timer := time.NewTimer(w)
+			select {
+			case <-l.quit:
+				timer.Stop()
+				// Fall through to sync the final batch before exiting.
+			case <-timer.C:
+			}
+		}
+		l.commitOnce()
+		select {
+		case <-l.quit:
+			return
+		default:
+		}
+	}
+}
+
+// commitOnce takes the open batch (if any), fsyncs, and releases it.
+func (l *Log) commitOnce() {
+	l.mu.Lock()
+	b := l.cur
+	l.cur = nil
+	if b == nil {
+		l.mu.Unlock()
+		return
+	}
+	err := l.f.Sync()
+	l.syncs++
+	if err != nil {
+		l.syncErrs++
+		l.lastHealth = err
+	} else {
+		l.lastSync = l.cfg.now()
+		l.lastHealth = nil
+	}
+	l.mu.Unlock()
+	b.err = err
+	close(b.done)
+}
+
+// Sync forces an immediate flush + fsync of everything staged so far
+// (the final-drain path: durability now, no coalescing).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	b := l.cur
+	l.cur = nil
+	var err error
+	if l.f != nil {
+		err = l.f.Sync()
+		l.syncs++
+		if err != nil {
+			l.syncErrs++
+			l.lastHealth = err
+		} else {
+			l.lastSync = l.cfg.now()
+			l.lastHealth = nil
+		}
+	}
+	l.mu.Unlock()
+	if b != nil {
+		b.err = err
+		close(b.done)
+	}
+	return err
+}
+
+// Head returns the position the NEXT record would be staged at. Every
+// already-staged record's position is strictly before Head.
+func (l *Log) Head() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Pos{Seg: l.seq, Off: l.off}
+}
+
+// Barrier returns the current reclaim barrier.
+func (l *Log) Barrier() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.barrier
+}
+
+// ReclaimBefore advances the barrier to p and deletes every segment
+// that lies wholly below it (seg < p.Seg). The caller guarantees that
+// every record before p is reflected in a durable checkpoint; records
+// in p's own segment survive (replay skips them via the checkpoint's
+// ledger). The directory is synced after removal so the reclaim itself
+// is crash-consistent.
+func (l *Log) ReclaimBefore(p Pos) (removed int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if p.Before(l.barrier) {
+		return 0, nil // never move the barrier backwards
+	}
+	l.barrier = p
+	l.barrierAt = l.appended
+	seqs, err := listSegments(l.cfg.Dir)
+	if err != nil {
+		return 0, fmt.Errorf("wal: reclaim: %w", err)
+	}
+	for _, seq := range seqs {
+		if seq >= p.Seg || seq == l.seq {
+			continue
+		}
+		if rerr := os.Remove(filepath.Join(l.cfg.Dir, segName(seq))); rerr != nil {
+			return removed, fmt.Errorf("wal: reclaim segment %d: %w", seq, rerr)
+		}
+		removed++
+		l.segments--
+	}
+	if removed > 0 {
+		if derr := fsyncDir(l.cfg.Dir); derr != nil {
+			return removed, fmt.Errorf("wal: reclaim dir sync: %w", derr)
+		}
+	}
+	return removed, nil
+}
+
+// Stats snapshots the log's health counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Segments:          l.segments,
+		SegmentSeq:        l.seq,
+		AppendedBytes:     l.appended,
+		BytesSinceBarrier: l.appended - l.barrierAt,
+		Appends:           l.appends,
+		Syncs:             l.syncs,
+		SyncErrors:        l.syncErrs,
+		Rotations:         l.rotations,
+		LastSyncAge:       -1,
+		OldestPendingAge:  0,
+	}
+	now := l.cfg.now()
+	if !l.lastSync.IsZero() {
+		st.LastSyncAge = now.Sub(l.lastSync)
+	}
+	if l.cur != nil {
+		st.OldestPendingAge = now.Sub(l.cur.opened)
+	}
+	return st
+}
+
+// Close syncs everything staged, releases any waiting batch, stops the
+// syncer, and closes the active segment. Further Stage/Append calls
+// fail with ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	b := l.cur
+	l.cur = nil
+	var err error
+	if l.f != nil {
+		err = l.f.Sync()
+	}
+	l.mu.Unlock()
+	if b != nil {
+		b.err = err
+		close(b.done)
+	}
+	close(l.quit)
+	l.wg.Wait()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		l.f = nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// Dir returns the log's directory (for quarantine after a handoff).
+func (l *Log) Dir() string { return l.cfg.Dir }

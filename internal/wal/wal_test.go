@@ -1,0 +1,431 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect replays dir into an ordered list of (pos, payload copies).
+type replayed struct {
+	pos     Pos
+	payload []byte
+}
+
+func collect(t *testing.T, dir string) ([]replayed, ReplayInfo) {
+	t.Helper()
+	var out []replayed
+	info, err := Replay(dir, func(pos Pos, payload []byte) error {
+		out = append(out, replayed{pos, append([]byte(nil), payload...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out, info
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, info, err := Open(Config{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 0 {
+		t.Fatalf("fresh log replayed %d records", info.Records)
+	}
+	var want [][]byte
+	var positions []Pos
+	for i := 0; i < 50; i++ {
+		p := []byte(fmt.Sprintf("record-%03d-%s", i, string(bytes.Repeat([]byte{byte(i)}, i))))
+		want = append(want, p)
+		pos, err := l.Append(p)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		positions = append(positions, pos)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, rinfo := collect(t, dir)
+	if rinfo.Truncated {
+		t.Fatalf("clean log reported truncation at %v", rinfo.TruncatedAt)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i].payload, want[i]) {
+			t.Fatalf("record %d: payload mismatch", i)
+		}
+		if got[i].pos != positions[i] {
+			t.Fatalf("record %d: pos %v on replay, %v at append — positions must be stable", i, got[i].pos, positions[i])
+		}
+	}
+
+	// Replay is idempotent: a second scan yields the identical sequence.
+	again, _ := collect(t, dir)
+	if len(again) != len(got) {
+		t.Fatalf("second replay %d records, first %d", len(again), len(got))
+	}
+	for i := range got {
+		if again[i].pos != got[i].pos || !bytes.Equal(again[i].payload, got[i].payload) {
+			t.Fatalf("replay not idempotent at record %d", i)
+		}
+	}
+}
+
+func TestReopenAppendsContinue(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Config{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, info, err := Open(Config{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 1 {
+		t.Fatalf("reopen replayed %d records, want 1", info.Records)
+	}
+	if _, err := l2.Append([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := collect(t, dir)
+	if len(got) != 2 || string(got[0].payload) != "first" || string(got[1].payload) != "second" {
+		t.Fatalf("reopened log replayed %d records", len(got))
+	}
+}
+
+func TestSegmentRotationAndReclaim(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Config{Dir: dir, SegmentBytes: 256}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 100)
+	var lastPos Pos
+	for i := 0; i < 20; i++ {
+		pos, err := l.Append(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastPos = pos
+	}
+	if st := l.Stats(); st.Segments < 3 {
+		t.Fatalf("expected rotation to produce >= 3 segments, got %d", st.Segments)
+	}
+	all, _ := collect(t, dir)
+	if len(all) != 20 {
+		t.Fatalf("replayed %d records across segments, want 20", len(all))
+	}
+
+	// Reclaim everything below the last record's segment: older segment
+	// files disappear, the survivors still replay.
+	removed, err := l.ReclaimBefore(Pos{Seg: lastPos.Seg, Off: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("reclaim removed nothing")
+	}
+	left, _ := collect(t, dir)
+	if len(left) == 0 || len(left) >= 20 {
+		t.Fatalf("after reclaim %d records remain (want a proper subset)", len(left))
+	}
+	for _, r := range left {
+		if r.pos.Seg < lastPos.Seg {
+			t.Fatalf("record %v survived below the barrier segment %d", r.pos, lastPos.Seg)
+		}
+	}
+	// The barrier never moves backwards.
+	if n, err := l.ReclaimBefore(Pos{Seg: 1, Off: 0}); err != nil || n != 0 {
+		t.Fatalf("backwards reclaim removed %d (%v)", n, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgeRotation(t *testing.T) {
+	dir := t.TempDir()
+	clock := time.Unix(1000, 0)
+	cfg := Config{Dir: dir, SegmentAge: time.Minute, now: func() time.Time { return clock }}
+	l, _, err := Open(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("young")); err != nil {
+		t.Fatal(err)
+	}
+	before := l.Stats().SegmentSeq
+	clock = clock.Add(2 * time.Minute)
+	if _, err := l.Append([]byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if after := l.Stats().SegmentSeq; after != before+1 {
+		t.Fatalf("age rotation did not advance the segment (seq %d -> %d)", before, after)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := collect(t, dir); len(got) != 2 {
+		t.Fatalf("replayed %d records after age rotation, want 2", len(got))
+	}
+}
+
+// TestTornTailTruncated crashes mid-record (simulated by appending junk
+// bytes to the active segment) and verifies Open repairs: the intact
+// prefix replays, the tail is truncated, and new appends land cleanly.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Config{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("ok-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear: half a record header worth of garbage at the tail.
+	path := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var n int
+	l2, info, err := Open(Config{Dir: dir}, func(Pos, []byte) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 || !info.Truncated {
+		t.Fatalf("repair replay: %d records, truncated=%v; want 5, true", n, info.Truncated)
+	}
+	if _, err := l2.Append([]byte("after-repair")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, rinfo := collect(t, dir)
+	if rinfo.Truncated {
+		t.Fatalf("repaired log still truncated at %v", rinfo.TruncatedAt)
+	}
+	if len(got) != 6 || string(got[5].payload) != "after-repair" {
+		t.Fatalf("after repair: %d records", len(got))
+	}
+}
+
+// TestBitFlipTruncatesAndQuarantines corrupts a record in the FIRST of
+// several segments: replay must stop there and Open must quarantine the
+// later segments rather than let un-replayable acknowledged records
+// silently reappear after future appends.
+func TestBitFlipTruncatesAndQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Config{Dir: dir, SegmentBytes: 128}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("y"), 50)
+	for i := 0; i < 8; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().Segments < 2 {
+		t.Fatal("test needs >= 2 segments")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in segment 1.
+	path := filepath.Join(dir, segName(1))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[segHeaderBytes+recHeaderBytes+10] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var n int
+	_, info, err := Open(Config{Dir: dir}, func(Pos, []byte) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("replayed %d records past a bit flip in the first record", n)
+	}
+	if !info.Truncated || info.Quarantined == 0 {
+		t.Fatalf("info = %+v; want truncation plus quarantined later segments", info)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarantined := 0
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".quarantined" {
+			quarantined++
+		}
+	}
+	if quarantined != info.Quarantined {
+		t.Fatalf("%d *.quarantined files on disk, info says %d", quarantined, info.Quarantined)
+	}
+}
+
+// TestGroupCommit runs concurrent appenders: every append must be
+// durable on return, and the batched fsync must actually batch (fewer
+// syncs than appends under a positive window).
+func TestGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Config{Dir: dir, FsyncWindow: 2 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*per)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Appends != workers*per {
+		t.Fatalf("appends %d, want %d", st.Appends, workers*per)
+	}
+	if st.Syncs >= st.Appends {
+		t.Fatalf("group commit did not batch: %d syncs for %d appends", st.Syncs, st.Appends)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := collect(t, dir); len(got) != workers*per {
+		t.Fatalf("replayed %d records, want %d", len(got), workers*per)
+	}
+}
+
+func TestStageTicketDurability(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Config{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, ticket, err := l.Stage([]byte("staged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ticket.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if head := l.Head(); !pos.Before(head) {
+		t.Fatalf("staged pos %v not before head %v", pos, head)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := collect(t, dir); len(got) != 1 || got[0].pos != pos {
+		t.Fatalf("staged record did not survive: %v", got)
+	}
+}
+
+func TestRecordCap(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Config{Dir: dir, MaxRecordBytes: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(bytes.Repeat([]byte("z"), 17)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+func TestClosedLogRefuses(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Config{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("late")); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+	// Close is idempotent.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayMissingDir(t *testing.T) {
+	info, err := Replay(filepath.Join(t.TempDir(), "never-created"), nil)
+	if err != nil {
+		t.Fatalf("missing dir should replay empty, got %v", err)
+	}
+	if info.Records != 0 {
+		t.Fatalf("missing dir replayed %d records", info.Records)
+	}
+}
+
+func TestStatsStallSignal(t *testing.T) {
+	dir := t.TempDir()
+	clock := time.Unix(5000, 0)
+	var mu sync.Mutex
+	now := func() time.Time { mu.Lock(); defer mu.Unlock(); return clock }
+	// A huge window keeps the syncer asleep so the staged batch ages.
+	l, _, err := Open(Config{Dir: dir, FsyncWindow: time.Hour, now: now}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, _, err := l.Stage([]byte("pending")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	clock = clock.Add(30 * time.Second)
+	mu.Unlock()
+	st := l.Stats()
+	if st.OldestPendingAge < 30*time.Second {
+		t.Fatalf("oldest pending age %v, want >= 30s", st.OldestPendingAge)
+	}
+}
