@@ -229,6 +229,20 @@ func (rt *Router) writeErr(w http.ResponseWriter, status int, kind, msg string, 
 	writeJSON(w, status, body)
 }
 
+// submitCaptured pulls the acknowledged shard's captured-sample total
+// (Samples+Lost) out of the owner's 202 body. It rides into the witness
+// ledger so anti-entropy audits can weigh what a lost disk held; 0 when
+// an older instance omits the field.
+func submitCaptured(respBody []byte) uint64 {
+	var env struct {
+		Captured uint64 `json:"captured"`
+	}
+	if err := json.Unmarshal(respBody, &env); err != nil {
+		return 0
+	}
+	return env.Captured
+}
+
 // submitShardID pulls just the shard id out of a submission body; the
 // payload stays opaque bytes — the owning instance decodes and verifies
 // it, the router only places it.
@@ -315,7 +329,7 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			rt.health.reportSuccess(id)
 			rt.rememberPlacement(shard, id)
 			if rt.cfg.Witness {
-				rt.forwardWitness(shard, id, body)
+				rt.forwardWitness(shard, id, submitCaptured(respBody), body)
 			}
 			rt.respondAugmented(w, status, respBody, id, refusedBy)
 			return

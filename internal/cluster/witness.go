@@ -29,20 +29,21 @@ import (
 // tests can make the forward synchronous and deterministic.
 
 // forwardWitness ships one accepted submission body to the witness
-// holder for (shard, origin). Asynchronous unless cfg.WitnessSync.
-func (rt *Router) forwardWitness(shard, origin string, body []byte) {
+// holder for (shard, origin), tagged with the shard's captured-sample
+// total from the owner's 202. Asynchronous unless cfg.WitnessSync.
+func (rt *Router) forwardWitness(shard, origin string, captured uint64, body []byte) {
 	target := rt.witnessTarget(shard, origin)
 	if target == "" {
 		return // single-instance tier: nobody to witness
 	}
 	if rt.cfg.WitnessSync {
-		rt.sendWitness(context.Background(), target, shard, origin, body)
+		rt.sendWitness(context.Background(), target, shard, origin, captured, body)
 		return
 	}
 	rt.witnessWG.Add(1)
 	go func() {
 		defer rt.witnessWG.Done()
-		rt.sendWitness(context.Background(), target, shard, origin, body)
+		rt.sendWitness(context.Background(), target, shard, origin, captured, body)
 	}()
 }
 
@@ -65,16 +66,17 @@ func (rt *Router) witnessTarget(shard, origin string) string {
 // WitnessFlush waits for every in-flight asynchronous witness forward.
 func (rt *Router) WitnessFlush() { rt.witnessWG.Wait() }
 
-func (rt *Router) sendWitness(ctx context.Context, target, shard, origin string, body []byte) {
+func (rt *Router) sendWitness(ctx context.Context, target, shard, origin string, captured uint64, body []byte) {
 	base := rt.urlOf(target)
 	if base == "" {
 		rt.witnessFailed.Add(1)
 		return
 	}
 	payload, err := json.Marshal(map[string]any{
-		"origin": origin,
-		"shard":  shard,
-		"body":   body, // []byte marshals as base64
+		"origin":   origin,
+		"shard":    shard,
+		"captured": captured,
+		"body":     body, // []byte marshals as base64
 	})
 	if err != nil {
 		rt.witnessFailed.Add(1)

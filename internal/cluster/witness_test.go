@@ -73,6 +73,28 @@ func TestWitnessDiskLossRebuild(t *testing.T) {
 	}
 	rt.WitnessFlush()
 
+	// The witness ledgers must carry each shard's real captured count
+	// (copied from the owner's 202 body) — the conservation audit reads
+	// these numbers, so an omitted field would zero the whole check.
+	var witnessed uint64
+	for _, base := range rt.instanceURLs() {
+		ledger, err := rt.fetchWitnessLedger(context.Background(), base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for origin, rows := range ledger {
+			for _, r := range rows {
+				if r.captured == 0 {
+					t.Fatalf("witness ledger for %s/%s has captured=0", origin, r.shard)
+				}
+				witnessed += r.captured
+			}
+		}
+	}
+	if witnessed != captured {
+		t.Fatalf("witness ledgers hold %d captured samples, want %d", witnessed, captured)
+	}
+
 	// Pick a victim that owns at least one shard and snapshot its exact
 	// aggregate bytes.
 	var victim string

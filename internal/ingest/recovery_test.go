@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -421,6 +422,78 @@ func TestRecoverTornTail(t *testing.T) {
 	conserve(t, s2, want, "torn tail")
 	if err := s2.Submit(sub("t-new", 99, 7)); err != nil {
 		t.Fatalf("submit after torn-tail repair: %v", err)
+	}
+}
+
+// TestDuplicateWaitsForOriginalDurability pins the 202+duplicate
+// contract: a resubmission of a shard whose ORIGINAL submission is
+// still inside its group commit must not be acknowledged until that
+// commit lands — and when the commit's fsync fails, the duplicate must
+// fail too. Answering ErrDuplicate from the admitted[] reservation
+// alone would hand the retrier a 202 for a shard durable nowhere.
+func TestDuplicateWaitsForOriginalDurability(t *testing.T) {
+	dir := t.TempDir()
+	var armed atomic.Bool
+	entered := make(chan struct{}) // fsync reached, original parked
+	release := make(chan struct{}) // closing delivers the verdict
+	injected := errors.New("injected fsync EIO")
+	cfg := Config{
+		QueueDepth: 8,
+		Interval:   16,
+		WALDir:     filepath.Join(dir, "wal"),
+		walFsync: func(f *os.File) error {
+			if !armed.Load() {
+				return f.Sync() // segment-creation syncs during Open
+			}
+			entered <- struct{}{}
+			<-release
+			return injected
+		},
+	}
+	s, err := NewService(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.CloseWAL()
+	armed.Store(true)
+
+	orig := make(chan error, 1)
+	go func() { orig <- s.Submit(sub("dup-race", 1, 5)) }()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("original never reached fsync")
+	}
+
+	// Original is parked inside its commit. The duplicate must block on
+	// the original's ticket, not answer from the reservation.
+	dup := make(chan error, 1)
+	go func() { dup <- s.Submit(sub("dup-race", 1, 5)) }()
+	select {
+	case err := <-dup:
+		t.Fatalf("duplicate answered (%v) before the original's fsync returned", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release) // fsync fails: nobody gets a durability receipt
+	for i, ch := range []chan error{orig, dup} {
+		select {
+		case err := <-ch:
+			if !errors.Is(err, ErrWAL) {
+				t.Fatalf("waiter %d: err=%v, want ErrWAL", i, err)
+			}
+			if errors.Is(err, ErrDuplicate) {
+				t.Fatalf("waiter %d acknowledged a shard durable nowhere", i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d never released", i)
+		}
+	}
+	if !s.WALWedged() {
+		t.Fatal("failed fsync did not surface as wedged in health")
+	}
+	if h := s.Stats().WAL; h == nil || !h.Wedged {
+		t.Fatalf("stats WAL section %+v, want Wedged", h)
 	}
 }
 

@@ -91,8 +91,9 @@ type Config struct {
 	// Log receives progress and degradation lines (nil = silent).
 	Log io.Writer
 
-	persist   func() error     // test seam; nil = WriteAtomic of the aggregate
-	mergeHook func(Submission) // test seam; called before each merge
+	persist   func() error         // test seam; nil = WriteAtomic of the aggregate
+	mergeHook func(Submission)     // test seam; called before each merge
+	walFsync  func(*os.File) error // test seam; threaded to wal.Config.fsync
 }
 
 func (c *Config) normalize() error {
@@ -207,6 +208,10 @@ type WALHealth struct {
 	// Stalled is true when OldestPendingAge exceeded Config.WALStallAfter
 	// — fsync has stopped completing and readiness must degrade.
 	Stalled bool `json:"stalled"`
+	// Wedged is true when a write or fsync failure permanently stopped
+	// the log: every submission answers 503 until a restart replays what
+	// survived. Strictly worse than Stalled; readiness must degrade.
+	Wedged bool `json:"wedged"`
 }
 
 // Service owns the ingest pipeline: HTTP handlers Submit, one aggregator
@@ -254,6 +259,14 @@ type Service struct {
 	// which a campaign bounds by benchmarks × shards.
 	admitted    map[string]bool
 	refusedLoss map[string]uint64
+	// inflight maps a reserved shard id to the WAL ticket its original
+	// submission is still waiting on. A resubmission that finds its shard
+	// admitted must NOT answer "duplicate" off the reservation alone —
+	// the 202+duplicate is a durability receipt too, so the duplicate
+	// path blocks on the same ticket and fails with ErrWAL if the
+	// original's group commit fails. Entries exist only between Stage and
+	// Wait; a shard with no entry is either durably logged or WAL-less.
+	inflight map[string]*wal.Ticket
 	// handoffFrom records ledger provenance: shard ids admitted here not
 	// by direct submission but because a draining peer handed its ledger
 	// over — the reason a retry of a donor-merged shard dedupes at the
@@ -368,6 +381,7 @@ func newService(cfg Config, seed *profile.DB, ck *Checkpoint) (*Service, error) 
 		done:            make(chan struct{}),
 		admitted:        make(map[string]bool),
 		refusedLoss:     make(map[string]uint64),
+		inflight:        make(map[string]*wal.Ticket),
 		handoffFrom:     make(map[string]string),
 		applied:         make(map[string]bool),
 		pending:         make(map[wal.Pos]struct{}),
@@ -397,6 +411,7 @@ func newService(cfg Config, seed *profile.DB, ck *Checkpoint) (*Service, error) 
 			SegmentBytes: cfg.WALSegmentBytes,
 			SegmentAge:   cfg.WALSegmentAge,
 			FsyncWindow:  cfg.FsyncWindow,
+			Fsync:        cfg.walFsync,
 		}, s.replayRecord)
 		if err != nil {
 			return nil, fmt.Errorf("ingest: wal: %w", err)
@@ -466,9 +481,9 @@ func (s *Service) Submit(sub Submission) error {
 	// of delivered shards are the common case under a flaky network).
 	s.mu.Lock()
 	if s.admitted[sub.Shard] {
-		s.dupes++
+		t := s.inflight[sub.Shard]
 		s.mu.Unlock()
-		return ErrDuplicate
+		return s.awaitDuplicate(t)
 	}
 	s.mu.Unlock()
 	// Serialize the WAL record outside any lock: gob encoding is the
@@ -490,9 +505,9 @@ func (s *Service) Submit(sub Submission) error {
 	var ticket *wal.Ticket
 	s.mu.Lock()
 	if s.admitted[sub.Shard] {
-		s.dupes++
+		t := s.inflight[sub.Shard]
 		s.mu.Unlock()
-		return ErrDuplicate
+		return s.awaitDuplicate(t)
 	}
 	if s.wal != nil {
 		pos, t, err := s.wal.Stage(rec)
@@ -502,6 +517,7 @@ func (s *Service) Submit(sub Submission) error {
 		}
 		sub.walPos = pos
 		s.pending[pos] = struct{}{}
+		s.inflight[sub.Shard] = t
 		ticket = t
 	}
 	s.admitted[sub.Shard] = true
@@ -509,15 +525,21 @@ func (s *Service) Submit(sub Submission) error {
 	// Group commit: wait for the batched fsync. Only after this returns
 	// is the record durable and the 202 honest. On sync failure nothing
 	// was acknowledged, so back the reservation out and send the client
-	// elsewhere.
+	// elsewhere (any duplicate that waited on the same ticket answers
+	// ErrWAL too, never a false receipt).
 	if ticket != nil {
-		if err := ticket.Wait(); err != nil {
-			s.mu.Lock()
+		err := ticket.Wait()
+		s.mu.Lock()
+		if s.inflight[sub.Shard] == ticket {
+			delete(s.inflight, sub.Shard)
+		}
+		if err != nil {
 			delete(s.admitted, sub.Shard)
 			delete(s.pending, sub.walPos)
 			s.mu.Unlock()
 			return fmt.Errorf("%w: fsync: %v", ErrWAL, err)
 		}
+		s.mu.Unlock()
 	}
 	if s.draining.Load() {
 		s.refuse(sub, &s.rejected)
@@ -556,6 +578,26 @@ func (s *Service) Submit(sub Submission) error {
 		s.logf("shard %s accepted on retry: %d previously accounted samples reversed out of the loss ledger", sub.Shard, reversed)
 	}
 	return nil
+}
+
+// awaitDuplicate resolves a resubmission of a reserved shard. The 202
+// the caller will send is a durability receipt exactly like the
+// original's, so when the original submission is still waiting on its
+// group commit (t non-nil), the duplicate blocks on the SAME ticket: a
+// successful commit yields ErrDuplicate (honest receipt), a failed one
+// yields ErrWAL — the original backs its reservation out and this
+// client retries elsewhere. t == nil means the record is already
+// durable (or the WAL is disabled) and the receipt is immediate.
+func (s *Service) awaitDuplicate(t *wal.Ticket) error {
+	if t != nil {
+		if err := t.Wait(); err != nil {
+			return fmt.Errorf("%w: original submission's fsync failed: %v", ErrWAL, err)
+		}
+	}
+	s.mu.Lock()
+	s.dupes++
+	s.mu.Unlock()
+	return ErrDuplicate
 }
 
 // compatible refuses shards that DB.Merge would refuse, before they
@@ -1054,6 +1096,7 @@ func (s *Service) WALHealth() *WALHealth {
 		ReplayRecords:      s.walReplay.Records,
 		ReplayDurationMS:   s.walReplay.Duration.Milliseconds(),
 		Stalled:            st.OldestPendingAge > s.cfg.WALStallAfter,
+		Wedged:             st.Wedged,
 	}
 }
 
@@ -1065,6 +1108,18 @@ func (s *Service) WALStalled() bool {
 		return false
 	}
 	return s.wal.Stats().OldestPendingAge > s.cfg.WALStallAfter
+}
+
+// WALWedged reports whether the WAL has wedged on a write or fsync
+// failure: every submission answers ErrWAL until this process restarts
+// and replays. Readiness must degrade the instance so the router steers
+// submissions to its ring successors. Always false with the WAL
+// disabled.
+func (s *Service) WALWedged() bool {
+	if s.wal == nil {
+		return false
+	}
+	return s.wal.Stats().Wedged
 }
 
 // CloseWAL syncs and closes the write-ahead log (no-op when disabled).

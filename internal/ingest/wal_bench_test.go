@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -37,7 +38,15 @@ func benchmarkSubmit(b *testing.B, cfg Config) {
 			id := shardSeq.Add(1)
 			sub := Submission{Shard: fmt.Sprintf("bench/%d", id), DB: db}
 			start := time.Now()
-			if err := s.Submit(sub); err != nil {
+			err := s.Submit(sub)
+			if errors.Is(err, ErrQueueFull) {
+				// The in-memory path can outrun the aggregator's drain
+				// rate; refusal is correct backpressure, not a benchmark
+				// failure. Let it drain and keep measuring accepted ops.
+				time.Sleep(100 * time.Microsecond)
+				continue
+			}
+			if err != nil {
 				b.Errorf("submit: %v", err)
 				return
 			}

@@ -16,7 +16,7 @@
 //	GET  /v1/ledger        admission ledger (anti-entropy reads this)
 //	POST /v1/witness       witness-copy store (see witness.go)
 //	GET  /healthz          liveness (200 while the process serves)
-//	GET  /readyz           readiness (503 when draining, breaker open, or WAL stalled)
+//	GET  /readyz           readiness (503 when draining, breaker open, or WAL stalled/wedged)
 package server
 
 import (
@@ -219,14 +219,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, map[string]any{
 			"shard":       sub.Shard,
 			"duplicate":   true,
+			"captured":    captured,
 			"queue_depth": s.svc.QueueDepth(),
 		})
 	case err != nil:
 		s.writeErr(w, http.StatusInternalServerError, "internal", err.Error())
 	default:
+		// "captured" (Samples+Lost) is the shard's weight in the fleet
+		// conservation sum; the router copies it into the witness ledger.
 		writeJSON(w, http.StatusAccepted, map[string]any{
 			"shard":       sub.Shard,
 			"samples":     sub.DB.Samples(),
+			"captured":    captured,
 			"queue_depth": s.svc.QueueDepth(),
 		})
 	}
@@ -495,6 +499,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusServiceUnavailable, "draining", "shutting down: submissions refused, queue flushing")
 	case s.svc.Breaker().State() == ingest.BreakerOpen:
 		s.writeErr(w, http.StatusServiceUnavailable, "breaker-open", "checkpoint persistence suspended")
+	case s.svc.WALWedged():
+		// A write or fsync failure wedged the durability log: every
+		// submission 503s until a restart replays what survived. Routers
+		// treat this like draining and steer submissions away.
+		s.writeErr(w, http.StatusServiceUnavailable, "wal-failed", "WAL wedged by a write/fsync failure; restart required")
 	case s.svc.WALStalled():
 		// The durability log has records waiting on fsync for longer than
 		// the stall threshold — every 202 would block on a sick disk.

@@ -18,6 +18,13 @@
 // its header written and synced, and the parent directory synced before
 // any record lands in it — a power cut between those steps loses an
 // empty file, never an acknowledged record.
+//
+// Failure is crash-only too: a failed write OR a failed fsync wedges
+// the log permanently (every later Stage/Append fails). Continuing past
+// either would let a record be acknowledged physically after bytes
+// whose durability is unknown, and replay — which truncates at the
+// first invalid frame — would silently discard it. A wedged process
+// restarts and replays; that is the only recovery path.
 package wal
 
 import (
@@ -99,6 +106,11 @@ type Config struct {
 	// corrupt length field can never drive allocation on replay.
 	MaxRecordBytes int64
 
+	// Fsync overrides the file sync used for durability verdicts (nil =
+	// (*os.File).Sync). Tests inject fsync failures through it; leave it
+	// nil in production.
+	Fsync func(*os.File) error
+
 	now func() time.Time // test seam
 }
 
@@ -126,6 +138,9 @@ func (c *Config) normalize() error {
 	}
 	if c.now == nil {
 		c.now = time.Now
+	}
+	if c.Fsync == nil {
+		c.Fsync = (*os.File).Sync
 	}
 	return nil
 }
@@ -157,6 +172,10 @@ type Stats struct {
 	// grow without bound.
 	LastSyncAge      time.Duration `json:"last_sync_age_ns"`
 	OldestPendingAge time.Duration `json:"oldest_pending_age_ns"`
+	// Wedged is true when a write or fsync failure has permanently
+	// stopped the log: every Stage/Append fails until a restart replays
+	// what actually survived. A wedged instance must go unready.
+	Wedged bool `json:"wedged"`
 }
 
 // batch is one group commit: every record staged while it was open
@@ -183,15 +202,26 @@ func (t *Ticket) Wait() error {
 type Log struct {
 	cfg Config
 
-	mu         sync.Mutex
-	f          *os.File
-	seq        uint64 // active segment sequence
-	off        int64  // active segment size (bytes written, staged included)
-	segOpened  time.Time
-	segments   int
-	cur        *batch // open batch collecting staged records (nil = none)
-	closed     bool
-	wedged     error // fatal write error: a partial frame is on disk, so no further record may be acknowledged after it
+	mu        sync.Mutex
+	f         *os.File
+	seq       uint64 // active segment sequence
+	off       int64  // active segment size (bytes written, staged included)
+	segOpened time.Time
+	segments  int
+	cur       *batch // open batch collecting staged records (nil = none)
+	closed    bool
+	// wedged is the log's fatal-failure latch. A failed write leaves a
+	// partial frame on disk; a failed fsync leaves records whose
+	// durability is unknowable (after an fsync EIO the kernel may mark
+	// the dirty pages clean, so a LATER fsync can succeed while the data
+	// is gone). Either way, nothing may be acknowledged past the failure
+	// — the log refuses all further work and restart-side replay decides
+	// what actually survived.
+	wedged error
+	// sealed holds rotated-out segments awaiting their final fsync +
+	// close, which happen inside the next durability verdict (syncAll)
+	// rather than at rotation time — see rotateLocked.
+	sealed     []*os.File
 	barrier    Pos
 	barrierAt  int64 // AppendedBytes when the barrier was last advanced
 	appended   int64
@@ -201,6 +231,13 @@ type Log struct {
 	rotations  uint64
 	lastSync   time.Time
 	lastHealth error
+
+	// syncMu serializes durability verdicts (syncAll). The kernel
+	// reports a writeback error to only ONE of several concurrent fsyncs
+	// on the same file, so two racing commits could split an EIO — one
+	// wedging the log while the other falsely acknowledges its batch.
+	// One verdict at a time, and none after a wedge.
+	syncMu sync.Mutex
 
 	kick chan struct{}
 	quit chan struct{}
@@ -371,16 +408,22 @@ func (l *Log) newSegmentLocked(seq uint64) error {
 	copy(hdr[0:4], segMagic)
 	binary.LittleEndian.PutUint32(hdr[4:8], segVersion)
 	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	// On any failure past this point the half-created file must go away:
+	// rotation retries the same seq, and a leftover would turn one
+	// transient create error into a permanent "file exists".
 	if _, err := f.Write(hdr[:]); err != nil {
 		f.Close()
+		os.Remove(path)
 		return fmt.Errorf("wal: segment %d header: %w", seq, err)
 	}
-	if err := f.Sync(); err != nil {
+	if err := l.cfg.Fsync(f); err != nil {
 		f.Close()
+		os.Remove(path)
 		return fmt.Errorf("wal: segment %d header sync: %w", seq, err)
 	}
 	if err := fsyncDir(l.cfg.Dir); err != nil {
 		f.Close()
+		os.Remove(path)
 		return fmt.Errorf("wal: segment %d dir sync: %w", seq, err)
 	}
 	l.f, l.seq, l.off = f, seq, segHeaderBytes
@@ -389,19 +432,22 @@ func (l *Log) newSegmentLocked(seq uint64) error {
 	return nil
 }
 
-// rotateLocked seals the active segment (flush + sync) and opens the
-// next one. Records staged in the old segment are durable after this
-// returns — their batch tickets are released by the next group commit,
-// which syncs the new (possibly empty) file.
+// rotateLocked opens the next segment and queues the old one for
+// sealing: its final fsync + close happen inside the next durability
+// verdict (syncAll), not here — an fsync under l.mu would stall every
+// Stage behind the disk, and an fsync concurrent with an in-flight
+// group commit could split a writeback error between the two (see
+// syncMu). The new segment is created BEFORE the old one is given up,
+// so a failed create leaves the old segment open and active: the log
+// stays fully usable and rotation simply retries on the next Stage.
 func (l *Log) rotateLocked() error {
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: rotate: seal segment %d: %w", l.seq, err)
+	old := l.f
+	if err := l.newSegmentLocked(l.seq + 1); err != nil {
+		return err
 	}
-	if err := l.f.Close(); err != nil {
-		return fmt.Errorf("wal: rotate: close segment %d: %w", l.seq, err)
-	}
+	l.sealed = append(l.sealed, old)
 	l.rotations++
-	return l.newSegmentLocked(l.seq + 1)
+	return nil
 }
 
 // Stage frames and buffers one record into the active segment and
@@ -419,7 +465,7 @@ func (l *Log) Stage(payload []byte) (Pos, *Ticket, error) {
 		return Pos{}, nil, ErrClosed
 	}
 	if l.wedged != nil {
-		return Pos{}, nil, fmt.Errorf("wal: wedged by earlier write failure: %w", l.wedged)
+		return Pos{}, nil, fmt.Errorf("wal: wedged by earlier failure: %w", l.wedged)
 	}
 	if l.off >= l.cfg.SegmentBytes ||
 		(l.cfg.SegmentAge > 0 && l.off > segHeaderBytes && l.cfg.now().Sub(l.segOpened) >= l.cfg.SegmentAge) {
@@ -495,27 +541,81 @@ func (l *Log) syncLoop() {
 	}
 }
 
-// commitOnce takes the open batch (if any), fsyncs, and releases it.
+// commitOnce takes the open batch (if any), runs one durability
+// verdict, and releases the batch with the outcome.
 func (l *Log) commitOnce() {
 	l.mu.Lock()
 	b := l.cur
 	l.cur = nil
+	l.mu.Unlock()
 	if b == nil {
-		l.mu.Unlock()
 		return
 	}
-	err := l.f.Sync()
+	b.err = l.syncAll()
+	close(b.done)
+}
+
+// syncAll is the single durability verdict: fsync every rotated-out
+// segment awaiting its seal, then the active one, under syncMu so no
+// two verdicts (and no verdict after a wedge) ever run concurrently.
+// l.mu is NOT held across the fsyncs — appenders keep staging the next
+// batch while this one commits (commit pipelining), and a slow disk
+// never blocks Stage or the service mutexes above it.
+//
+// A failed fsync wedges the log exactly like a failed write: on Linux
+// an fsync EIO marks the un-written dirty pages clean, so a later
+// fsync of the same file can succeed while the data is gone — if
+// appends continued, a record could be acknowledged physically AFTER a
+// lost one, and restart replay (which truncates at the first invalid
+// frame) would silently discard it. Nothing is acknowledged past a
+// failed verdict; the wedge clears only via restart + replay.
+func (l *Log) syncAll() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	if werr := l.wedged; werr != nil {
+		l.syncErrs++
+		l.mu.Unlock()
+		return fmt.Errorf("wal: wedged by earlier failure: %w", werr)
+	}
+	sealed := l.sealed
+	l.sealed = nil
+	f := l.f
+	l.mu.Unlock()
+
+	var err error
+	for _, s := range sealed {
+		if serr := l.cfg.Fsync(s); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	if err == nil && f != nil {
+		err = l.cfg.Fsync(f)
+	}
+
+	l.mu.Lock()
 	l.syncs++
 	if err != nil {
 		l.syncErrs++
 		l.lastHealth = err
+		// ErrClosed can only mean a Sync raced Close's teardown (segments
+		// are otherwise closed solely here, under syncMu, after detach):
+		// the batch still fails, but a shut log is not a wedged one.
+		if l.wedged == nil && !errors.Is(err, os.ErrClosed) {
+			l.wedged = err
+		}
 	} else {
 		l.lastSync = l.cfg.now()
 		l.lastHealth = nil
 	}
 	l.mu.Unlock()
-	b.err = err
-	close(b.done)
+	// Sealed segments can close now: on success their records are
+	// durable; on failure the log is wedged and they hold nothing
+	// acknowledgeable. A close error cannot lose synced data.
+	for _, s := range sealed {
+		s.Close()
+	}
+	return err
 }
 
 // Sync forces an immediate flush + fsync of everything staged so far
@@ -524,19 +624,8 @@ func (l *Log) Sync() error {
 	l.mu.Lock()
 	b := l.cur
 	l.cur = nil
-	var err error
-	if l.f != nil {
-		err = l.f.Sync()
-		l.syncs++
-		if err != nil {
-			l.syncErrs++
-			l.lastHealth = err
-		} else {
-			l.lastSync = l.cfg.now()
-			l.lastHealth = nil
-		}
-	}
 	l.mu.Unlock()
+	err := l.syncAll()
 	if b != nil {
 		b.err = err
 		close(b.done)
@@ -610,6 +699,7 @@ func (l *Log) Stats() Stats {
 		Rotations:         l.rotations,
 		LastSyncAge:       -1,
 		OldestPendingAge:  0,
+		Wedged:            l.wedged != nil,
 	}
 	now := l.cfg.now()
 	if !l.lastSync.IsZero() {
@@ -633,11 +723,8 @@ func (l *Log) Close() error {
 	l.closed = true
 	b := l.cur
 	l.cur = nil
-	var err error
-	if l.f != nil {
-		err = l.f.Sync()
-	}
 	l.mu.Unlock()
+	err := l.syncAll()
 	if b != nil {
 		b.err = err
 		close(b.done)

@@ -2,10 +2,12 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -394,6 +396,122 @@ func TestClosedLogRefuses(t *testing.T) {
 	// Close is idempotent.
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFsyncFailureWedges: a failed group-commit fsync must wedge the
+// log exactly like a failed write. After an fsync EIO the kernel can
+// mark the lost pages clean, so a later fsync would SUCCEED and
+// acknowledge records physically after the lost ones — which replay
+// (truncate at first invalid frame) would then silently discard. The
+// only safe answer is: fail the batch, refuse everything after.
+func TestFsyncFailureWedges(t *testing.T) {
+	dir := t.TempDir()
+	var failing atomic.Bool
+	injected := errors.New("injected fsync EIO")
+	cfg := Config{Dir: dir, Fsync: func(f *os.File) error {
+		if failing.Load() {
+			return injected
+		}
+		return f.Sync()
+	}}
+	l, _, err := Open(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	failing.Store(true)
+	if _, err := l.Append([]byte("doomed")); !errors.Is(err, injected) {
+		t.Fatalf("append through failed fsync: err %v, want %v", err, injected)
+	}
+	if st := l.Stats(); !st.Wedged || st.SyncErrors == 0 {
+		t.Fatalf("failed fsync did not wedge: %+v", st)
+	}
+
+	// The disk "recovers" — fsync would succeed again, exactly the
+	// EIO-marks-pages-clean hazard. The log must still refuse: a success
+	// now could acknowledge a record after the lost one.
+	failing.Store(false)
+	if _, err := l.Append([]byte("after")); err == nil {
+		t.Fatal("wedged log accepted an append after fsync recovered")
+	}
+	if _, _, err := l.Stage([]byte("staged")); err == nil {
+		t.Fatal("wedged log staged a record")
+	}
+	l.Close() // errors (wedged) — the assertion is replay below
+
+	// Restart-side replay keeps exactly the acknowledged prefix.
+	var got []string
+	l2, _, err := Open(Config{Dir: dir}, func(_ Pos, p []byte) error {
+		got = append(got, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	for _, p := range got {
+		if p != "before" && p != "doomed" {
+			t.Fatalf("replayed unexpected record %q", p)
+		}
+	}
+	if len(got) == 0 || got[0] != "before" {
+		t.Fatalf("acknowledged record lost: replayed %v", got)
+	}
+}
+
+// TestRotateCreateFailureRecovers: when rotation cannot create the next
+// segment (transient create error), the old segment must stay open and
+// active — appends fail while the condition lasts, then succeed again
+// once it clears, with no restart and nothing acknowledged lost.
+func TestRotateCreateFailureRecovers(t *testing.T) {
+	dir := t.TempDir()
+	var failing atomic.Bool
+	injected := errors.New("injected create-time fsync failure")
+	// Fail the new segment's HEADER sync: newSegmentLocked then fails
+	// before the segment is installed, exercising the rotation-retry
+	// path. Group commits target already-created files and are guarded
+	// by size: record syncs pass through.
+	cfg := Config{Dir: dir, SegmentBytes: 128, Fsync: func(f *os.File) error {
+		if failing.Load() {
+			if st, err := f.Stat(); err == nil && st.Size() == segHeaderBytes {
+				return injected
+			}
+		}
+		return f.Sync()
+	}}
+	l, _, err := Open(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("r"), 110) // header(16)+rec(8+110) ≥ 128: next Stage rotates
+	if _, err := l.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	// Next append needs a rotation; make segment creation fail.
+	failing.Store(true)
+	if _, err := l.Append(payload); !errors.Is(err, injected) {
+		t.Fatalf("append during create failure: err %v, want %v", err, injected)
+	}
+	if st := l.Stats(); st.Wedged {
+		t.Fatalf("transient create failure wedged the log: %+v", st)
+	}
+	// Condition clears: the same log must rotate and append cleanly.
+	failing.Store(false)
+	if _, err := l.Append(payload); err != nil {
+		t.Fatalf("append after create failure cleared: %v", err)
+	}
+	if st := l.Stats(); st.Rotations == 0 {
+		t.Fatalf("rotation never completed: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := collect(t, dir); len(got) != 2 {
+		t.Fatalf("replayed %d records, want the 2 acknowledged", len(got))
 	}
 }
 
