@@ -6,6 +6,7 @@
 //	pmbench                    # measure and print a table
 //	pmbench -update            # measure and rewrite BENCH_hotpath.json
 //	pmbench -check             # measure and fail on regression vs baseline
+//	pmbench -queries [...]     # benchmark the query path instead (BENCH_query.json)
 //
 // Check mode compares allocs/op directly (it is machine-independent) and
 // ns/op after rescaling by the calibration ratio: the baseline records the
@@ -13,6 +14,10 @@
 // slower CI runner raises both numbers together and the comparison stays
 // about the code, not the hardware. Either metric regressing beyond -tol
 // (default 15%) fails the run.
+//
+// -queries switches to the collector query-path benchmark (see query.go):
+// exact vs sketch hot-PC serving on a 1M-PC aggregate under merge flood,
+// gated on the machine-independent speedup ratio in BENCH_query.json.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"profileme/internal/cpu"
 	"profileme/internal/sim"
@@ -70,15 +76,24 @@ type Baseline struct {
 
 func main() {
 	var (
-		file   = flag.String("file", "BENCH_hotpath.json", "baseline file")
-		update = flag.Bool("update", false, "rewrite the baseline file with fresh measurements")
-		check  = flag.Bool("check", false, "compare fresh measurements against the baseline; nonzero exit on regression")
-		tol    = flag.Float64("tol", 0.15, "allowed fractional regression in ns/op (calibrated) and allocs/op")
+		file    = flag.String("file", "BENCH_hotpath.json", "baseline file")
+		update  = flag.Bool("update", false, "rewrite the baseline file with fresh measurements")
+		check   = flag.Bool("check", false, "compare fresh measurements against the baseline; nonzero exit on regression")
+		tol     = flag.Float64("tol", 0.15, "allowed fractional regression in ns/op (calibrated) and allocs/op")
+		queries = flag.Bool("queries", false, "benchmark the collector query path (exact vs sketch) against BENCH_query.json")
+		quick   = flag.Duration("queryfor", time.Second, "minimum measurement duration per query path in -queries mode")
 	)
 	flag.Parse()
 	if *update && *check {
 		fmt.Fprintln(os.Stderr, "pmbench: -update and -check are mutually exclusive")
 		os.Exit(2)
+	}
+	if *queries {
+		qfile := *file
+		if qfile == "BENCH_hotpath.json" { // -file not set: queries mode has its own default
+			qfile = "BENCH_query.json"
+		}
+		os.Exit(runQueryBench(qfile, *update, *check, *quick))
 	}
 
 	calib := measureCalibration()
@@ -229,7 +244,11 @@ func readBaseline(path string) (*Baseline, error) {
 }
 
 func writeBaseline(path string, b *Baseline) error {
-	data, err := json.MarshalIndent(b, "", "  ")
+	return writeJSONFile(path, b)
+}
+
+func writeJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -77,6 +77,10 @@ func run() int {
 		walSegAge  = flag.Duration("wal-segment-age", 0, "WAL segment rotation age (0 = size-only rotation)")
 		walStall   = flag.Duration("wal-stall", 0, "pending-fsync age after which /readyz reports wal-stalled (0 = 10s default)")
 
+		sketchTopK   = flag.Int("sketch-topk", 512, "hot-PC sketch capacity K: /v1/hotpcs serves n<=K lock-free from the published view")
+		winBuckets   = flag.Int("sketch-window-buckets", 60, "windowed-query ring buckets (horizon = buckets x bucket duration)")
+		winBucketDur = flag.Duration("sketch-window-bucket", time.Second, "windowed-query ring bucket duration")
+
 		instance = flag.String("instance", "", "tier instance id (ring identity; enables clustered drain handoff with -peers)")
 		peers    = flag.String("peers", "", "ring peers as id=url,id=url,... — a graceful drain hands the aggregate to the ring successor")
 		vnodes   = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per instance on the placement ring (must match the router)")
@@ -115,21 +119,24 @@ func run() int {
 	logw := ingest.NewSyncWriter(os.Stderr)
 
 	icfg := ingest.Config{
-		QueueDepth:       *queue,
-		Policy:           policy,
-		Interval:         *interval,
-		Window:           *window,
-		Width:            *width,
-		CheckpointPath:   *ckpt,
-		CheckpointEvery:  *ckptEvery,
-		BreakerThreshold: *brkFails,
-		BreakerCooldown:  *brkCooldown,
-		WALDir:           *walDir,
-		FsyncWindow:      *fsyncWin,
-		WALSegmentBytes:  *walSegSize,
-		WALSegmentAge:    *walSegAge,
-		WALStallAfter:    *walStall,
-		Log:              logw,
+		QueueDepth:          *queue,
+		Policy:              policy,
+		Interval:            *interval,
+		Window:              *window,
+		Width:               *width,
+		CheckpointPath:      *ckpt,
+		CheckpointEvery:     *ckptEvery,
+		BreakerThreshold:    *brkFails,
+		BreakerCooldown:     *brkCooldown,
+		WALDir:              *walDir,
+		FsyncWindow:         *fsyncWin,
+		WALSegmentBytes:     *walSegSize,
+		WALSegmentAge:       *walSegAge,
+		WALStallAfter:       *walStall,
+		SketchTopK:          *sketchTopK,
+		SketchWindowBuckets: *winBuckets,
+		SketchWindowBucket:  *winBucketDur,
+		Log:                 logw,
 	}
 
 	var svc *ingest.Service

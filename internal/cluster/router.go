@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"sync"
@@ -565,9 +566,19 @@ type instanceHotPCs struct {
 	Samples  uint64  `json:"samples"`
 	Lost     uint64  `json:"lost"`
 	LossRate float64 `json:"loss_rate"`
-	PCs      []struct {
+	// Sketch fields (absent on ?sketch=false answers): ErrorBound is the
+	// instance's sketch floor — the maximum true count of any PC it did
+	// NOT list; WindowSamples is the exact in-window total on windowed
+	// answers.
+	Approx        bool   `json:"approx"`
+	ErrorBound    uint64 `json:"error_bound"`
+	WindowMS      int64  `json:"window_ms"`
+	WindowClamped bool   `json:"window_clamped"`
+	WindowSamples uint64 `json:"window_samples"`
+	PCs           []struct {
 		PC             string  `json:"pc"`
 		Samples        uint64  `json:"samples"`
+		MaxErr         uint64  `json:"max_err"`
 		EstCount       float64 `json:"est_count"`
 		RetiredPct     float64 `json:"retired_pct"`
 		DCacheMissPct  float64 `json:"dcache_miss_pct"`
@@ -582,30 +593,48 @@ type instanceHotPCs struct {
 // and means re-weight by contributing samples. Each instance is asked
 // for an over-fetch (4× n, capped) so a PC hot fleet-wide but trailing
 // locally still surfaces.
+//
+// Sketch answers merge because space-saving partials merge: estimates
+// add where a PC is present; where an instance omitted the PC, that
+// instance may still have counted it up to its error_bound (floor), so
+// the merged row's max_err gains the absent instances' floors. The
+// fleet error_bound is the sum of floors — the maximum true fleet-wide
+// count of any PC NOT listed. ?sketch= and ?window= pass through to the
+// instances.
 func (rt *Router) handleHotPCs(w http.ResponseWriter, r *http.Request) {
-	n := intParam(r, "n", 10)
-	if n < 1 || n > 1000 {
-		rt.writeErr(w, http.StatusBadRequest, "param", "n must be in [1,1000]", nil)
+	n, perr := intQueryParam(r, "n", 10, 1, 1000)
+	if perr != "" {
+		rt.writeErr(w, http.StatusBadRequest, "param", perr, nil)
 		return
 	}
 	fetch := n * 4
 	if fetch > 1000 {
 		fetch = 1000
 	}
-	oks, missing := rt.gather(r.Context(), "/v1/hotpcs?n="+strconv.Itoa(fetch))
+	q := "/v1/hotpcs?n=" + strconv.Itoa(fetch)
+	windowed := false
+	if v := r.URL.Query().Get("sketch"); v != "" {
+		q += "&sketch=" + url.QueryEscape(v)
+	}
+	if v := r.URL.Query().Get("window"); v != "" {
+		q += "&window=" + url.QueryEscape(v)
+		windowed = true
+	}
+	oks, missing := rt.gather(r.Context(), q)
 	if len(oks) == 0 {
 		rt.writeErr(w, http.StatusServiceUnavailable, "no-instances",
 			"no collector instance answered", map[string]any{"missing": missing})
 		return
 	}
-	type mergedPC struct {
-		samples                            uint64
-		est                                float64
-		retired, dmiss, mispredict, inprog float64 // sample-weighted sums
-	}
-	merged := make(map[string]*mergedPC)
-	var samples, lost uint64
+	legs := make([]instanceHotPCs, 0, len(oks))
+	var badBody []byte
 	for _, l := range oks {
+		if l.status == http.StatusBadRequest {
+			// The request itself is bad (malformed window/sketch value):
+			// relay one instance's typed 400.
+			badBody = l.body
+			continue
+		}
 		if l.status != http.StatusOK {
 			missing = append(missing, l.id)
 			continue
@@ -615,8 +644,37 @@ func (rt *Router) handleHotPCs(w http.ResponseWriter, r *http.Request) {
 			missing = append(missing, l.id)
 			continue
 		}
+		legs = append(legs, one)
+	}
+	if len(legs) == 0 && badBody != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write(badBody)
+		return
+	}
+	type mergedPC struct {
+		samples                            uint64
+		maxErr                             uint64
+		legsIn                             int
+		est                                float64
+		retired, dmiss, mispredict, inprog float64 // sample-weighted sums
+	}
+	merged := make(map[string]*mergedPC)
+	var (
+		samples, lost, errorBound, windowSamples uint64
+		approx, windowClamped                    bool
+		windowMS                                 int64
+	)
+	for _, one := range legs {
 		samples += one.Samples
 		lost += one.Lost
+		approx = approx || one.Approx
+		errorBound += one.ErrorBound
+		windowSamples += one.WindowSamples
+		windowClamped = windowClamped || one.WindowClamped
+		if one.WindowMS > windowMS {
+			windowMS = one.WindowMS
+		}
 		for _, row := range one.PCs {
 			m := merged[row.PC]
 			if m == nil {
@@ -625,11 +683,26 @@ func (rt *Router) handleHotPCs(w http.ResponseWriter, r *http.Request) {
 			}
 			ws := float64(row.Samples)
 			m.samples += row.Samples
+			m.maxErr += row.MaxErr
+			m.legsIn++
 			m.est += row.EstCount
 			m.retired += ws * row.RetiredPct
 			m.dmiss += ws * row.DCacheMissPct
 			m.mispredict += ws * row.MispredictPct
 			m.inprog += ws * row.MeanInProgress
+		}
+	}
+	// An instance that answered but omitted a PC may have seen it up to
+	// its floor times: fold those floors into the row's error bound.
+	for _, one := range legs {
+		present := make(map[string]bool, len(one.PCs))
+		for _, row := range one.PCs {
+			present[row.PC] = true
+		}
+		for pc, m := range merged {
+			if !present[pc] {
+				m.maxErr += one.ErrorBound
+			}
 		}
 	}
 	pcs := make([]string, 0, len(merged))
@@ -655,7 +728,11 @@ func (rt *Router) handleHotPCs(w http.ResponseWriter, r *http.Request) {
 			"samples":   m.samples,
 			"est_count": m.est,
 		}
-		if ws > 0 {
+		if m.maxErr > 0 {
+			row["max_err"] = m.maxErr
+		}
+		// Windowed rows carry sketch estimates only — no rate fields.
+		if ws > 0 && !windowed {
 			row["retired_pct"] = m.retired / ws
 			row["dcache_miss_pct"] = m.dmiss / ws
 			row["mispredict_pct"] = m.mispredict / ws
@@ -667,6 +744,15 @@ func (rt *Router) handleHotPCs(w http.ResponseWriter, r *http.Request) {
 		"samples": samples,
 		"lost":    lost,
 		"pcs":     rows,
+		"approx":  approx,
+	}
+	if approx {
+		resp["error_bound"] = errorBound
+	}
+	if windowed {
+		resp["window_ms"] = windowMS
+		resp["window_clamped"] = windowClamped
+		resp["window_samples"] = windowSamples
 	}
 	if samples+lost > 0 {
 		resp["loss_rate"] = float64(lost) / float64(samples+lost)
@@ -681,6 +767,8 @@ func (rt *Router) handleHotPCs(w http.ResponseWriter, r *http.Request) {
 type instanceEstimate struct {
 	Samples       uint64             `json:"samples"`
 	EstCount      float64            `json:"est_count"`
+	Approx        bool               `json:"approx"`
+	MaxErr        uint64             `json:"max_err"`
 	Event         string             `json:"event"`
 	EstEventCount float64            `json:"est_event_count"`
 	EventRate     float64            `json:"event_rate"`
@@ -707,7 +795,8 @@ func (rt *Router) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var (
-		samples            uint64
+		samples, maxErr    uint64
+		approx             bool
 		est, estEv, rateWS float64
 		events             = make(map[string]float64)
 		lats               = make(map[string]float64)
@@ -735,6 +824,8 @@ func (rt *Router) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		}
 		answered++
 		samples += one.Samples
+		approx = approx || one.Approx
+		maxErr += one.MaxErr
 		est += one.EstCount
 		estEv += one.EstEventCount
 		rateWS += float64(one.Samples) * one.EventRate
@@ -764,6 +855,10 @@ func (rt *Router) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		"pc":        pc,
 		"samples":   samples,
 		"est_count": est,
+		"approx":    approx,
+	}
+	if approx {
+		resp["max_err"] = maxErr
 	}
 	if event != "" {
 		resp["event"] = event
@@ -888,16 +983,22 @@ func (rt *Router) Stats() RouterStats {
 	}
 }
 
-func intParam(r *http.Request, name string, def int) int {
+// intQueryParam parses an integer query parameter with an inclusive
+// range; a non-empty second return is the typed-400 message (matching
+// the collector's own parameter contract).
+func intQueryParam(r *http.Request, name string, def, lo, hi int) (int, string) {
 	v := r.URL.Query().Get(name)
 	if v == "" {
-		return def
+		return def, ""
 	}
 	n, err := strconv.Atoi(v)
 	if err != nil {
-		return -1
+		return 0, fmt.Sprintf("parameter %q: %q is not an integer", name, v)
 	}
-	return n
+	if n < lo || n > hi {
+		return 0, fmt.Sprintf("parameter %q: %d out of range [%d,%d]", name, n, lo, hi)
+	}
+	return n, ""
 }
 
 // logf writes one attributable line under the router's log mutex, so

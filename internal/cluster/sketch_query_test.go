@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestRouterSketchQueryMerge pins the fleet sketch contract: the router
+// scatter-gathers per-instance sketch answers and merges them so that
+// (a) exact counters still obey conservation (fleet samples = Σ shard
+// samples), (b) the merged answer declares "approx" with a fleet
+// error_bound equal to the sum of instance floors, (c) windowed queries
+// pass through and aggregate, and (d) malformed parameters come back as
+// typed 400s from the router itself.
+func TestRouterSketchQueryMerge(t *testing.T) {
+	instances, rt := newTier(t, 16, "c0", "c1", "c2")
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	const shards, per = 12, 40
+	for i := 0; i < shards; i++ {
+		res := submitVia(t, front.URL, shardName(i), synthShard(uint64(i), per))
+		if res.status != 202 {
+			t.Fatalf("submit %d: %+v", i, res)
+		}
+	}
+	for _, in := range instances {
+		if err := in.svc.Flush(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Default (sketch) path: conservation + approx annotation.
+	status, body := getJSON(t, front.URL+"/v1/hotpcs?n=10")
+	if status != 200 {
+		t.Fatalf("hotpcs: %d %v", status, body)
+	}
+	if got := body["samples"].(float64); got != shards*per {
+		t.Fatalf("fleet samples = %v, want %d", got, shards*per)
+	}
+	if body["approx"] != true {
+		t.Fatalf("sketch answer not marked approx: %v", body["approx"])
+	}
+	// Few distinct PCs (< K) on every instance: floors are 0, so the
+	// fleet bound is 0 and the answer is exact despite approx=true.
+	if eb := body["error_bound"].(float64); eb != 0 {
+		t.Fatalf("error_bound = %v, want 0 for under-capacity sketches", eb)
+	}
+	rows := body["pcs"].([]any)
+	if len(rows) != 10 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+
+	// The exact path must agree row-for-row on this small tier.
+	_, exact := getJSON(t, front.URL+"/v1/hotpcs?n=10&sketch=false")
+	exRows := exact["pcs"].([]any)
+	for i := range rows {
+		s, e := rows[i].(map[string]any), exRows[i].(map[string]any)
+		if s["pc"] != e["pc"] || s["samples"] != e["samples"] {
+			t.Fatalf("row %d: sketch %v vs exact %v", i, s, e)
+		}
+	}
+	if exact["approx"] != false {
+		t.Fatalf("exact answer marked approx: %v", exact["approx"])
+	}
+
+	// Windowed: all merges happened seconds ago, so a generous window
+	// covers every sample; the fleet window_samples is the exact total.
+	_, win := getJSON(t, front.URL+"/v1/hotpcs?n=10&window=50s")
+	if win["approx"] != true {
+		t.Fatalf("windowed answer not approx: %v", win)
+	}
+	if ws := win["window_samples"].(float64); ws != shards*per {
+		t.Fatalf("window_samples = %v, want %d", ws, shards*per)
+	}
+
+	// Estimate passthrough: the hottest PC answers with approx and sums.
+	hottest := rows[0].(map[string]any)["pc"].(string)
+	_, est := getJSON(t, front.URL+"/v1/estimate?pc="+hottest)
+	if est["approx"] != true {
+		t.Fatalf("estimate not served from sketch view: %v", est)
+	}
+	wantSamples := rows[0].(map[string]any)["samples"].(float64)
+	if est["samples"].(float64) != wantSamples {
+		t.Fatalf("estimate samples %v != hotpcs row %v", est["samples"], wantSamples)
+	}
+
+	// Router-side parameter taxonomy: malformed values are typed 400s.
+	for _, q := range []string{"/v1/hotpcs?n=abc", "/v1/hotpcs?n=0", "/v1/hotpcs?window=soon"} {
+		status, body := getJSON(t, front.URL+q)
+		if status != 400 {
+			t.Fatalf("GET %s = %d, want 400 (%v)", q, status, body)
+		}
+		if body["kind"] != "param" {
+			t.Fatalf("GET %s kind = %v, want param", q, body["kind"])
+		}
+	}
+}

@@ -88,6 +88,15 @@ type Config struct {
 	// 10s). A stalled WAL means fsync has stopped completing: the
 	// instance must go unready BEFORE it starts losing data.
 	WALStallAfter time.Duration
+	// SketchTopK sizes the aggregate's space-saving hot-PC sketch
+	// (default 512); hot-PC queries for n <= SketchTopK serve O(n) from
+	// the lock-free published view. SketchWindowBuckets of
+	// SketchWindowBucket each define the windowed-query ring (defaults
+	// 60 × 1s: a one-minute horizon). See profile.SketchConfig.
+	SketchTopK          int
+	SketchWindowBuckets int
+	SketchWindowBucket  time.Duration
+
 	// Log receives progress and degradation lines (nil = silent).
 	Log io.Writer
 
@@ -179,6 +188,10 @@ type Stats struct {
 	Samples  uint64  `json:"samples"`
 	Lost     uint64  `json:"lost"`
 	LossRate float64 `json:"loss_rate"`
+
+	// Sketch is the streaming-summary layer's health: view epoch, top-K
+	// occupancy, error floor, window geometry (see profile.SketchStats).
+	Sketch profile.SketchStats `json:"sketch"`
 }
 
 // WALHealth is the /v1/stats "wal" section: the log's own counters plus
@@ -374,8 +387,12 @@ func newService(cfg Config, seed *profile.DB, ck *Checkpoint) (*Service, error) 
 		seed = profile.NewDB(cfg.Interval, cfg.Window, cfg.Width)
 	}
 	s := &Service{
-		cfg:             cfg,
-		agg:             profile.NewSafeDB(seed),
+		cfg: cfg,
+		agg: profile.NewSafeDBWith(seed, profile.SketchConfig{
+			TopK:          cfg.SketchTopK,
+			WindowBuckets: cfg.SketchWindowBuckets,
+			BucketDur:     cfg.SketchWindowBucket,
+		}),
 		q:               q,
 		brk:             NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		done:            make(chan struct{}),
@@ -995,13 +1012,14 @@ func (s *Service) Stats() Stats {
 	st.Draining = s.draining.Load()
 	st.HandedOff = s.handedOff.Load()
 	st.WAL = s.WALHealth()
-	// One counters snapshot (single RLock, no deep copy) instead of three
-	// separate aggregate reads: stats polls must never contend with
-	// merges under flood.
+	// One lock-free counters snapshot (an atomic view load, no lock at
+	// all) instead of three separate aggregate reads: stats polls never
+	// contend with merges under flood.
 	c := s.agg.CountersSnapshot()
 	st.Samples = c.Samples
 	st.Lost = c.Lost
 	st.LossRate = c.LossRate
+	st.Sketch = s.agg.SketchStats()
 	return st
 }
 

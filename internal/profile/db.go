@@ -45,6 +45,12 @@ var eventKinds = [numEventKinds]core.Event{
 
 // PCAccum aggregates every sample seen for one static instruction:
 // the DCPI-style compact representation (counts and sums, no raw samples).
+//
+// Copy-vs-alias: PCAccum is mostly a value type, but Addrs and
+// PairMetrics are slices — a shallow copy of a live accumulator still
+// shares them with the database. DB.Get and DB.HotPCs return live
+// pointers (aliases); SafeDB.Get and SafeDB.HotPCs return deep copies
+// that share nothing.
 type PCAccum struct {
 	PC      uint64
 	Samples uint64 // samples naming this PC (first or second of a pair)
@@ -381,7 +387,10 @@ func (db *DB) EstimatePairMetric(pc uint64, idx int) (est float64, ok bool) {
 	return float64(k) * float64(db.W) * db.S * db.lossCorrection(), true
 }
 
-// Get returns the accumulator for pc, or nil.
+// Get returns the accumulator for pc, or nil. The pointer ALIASES live
+// database state — later Adds mutate it in place. Callers that retain
+// results across writes (or hand them to another goroutine) must copy,
+// or go through SafeDB.Get, which does.
 func (db *DB) Get(pc uint64) *PCAccum { return db.byPC[pc] }
 
 // PCs returns all profiled PCs in ascending order.
@@ -454,7 +463,11 @@ func (db *DB) NeighborhoodIPC(pc uint64) (ipc float64, ok bool) {
 	return float64(db.W) * frac / float64(db.TNear), true
 }
 
-// HotPCs returns the n PCs with the most samples, descending.
+// HotPCs returns the n PCs with the most samples, descending (ties
+// break toward the lower PC). It walks and sorts the whole per-PC map:
+// O(DB log DB), the exact path. The returned pointers ALIAS live
+// database state, like Get; SafeDB.HotPCs serves the same question from
+// its published sketch view in O(n) with deep-copied rows.
 func (db *DB) HotPCs(n int) []*PCAccum {
 	accs := make([]*PCAccum, 0, len(db.byPC))
 	for _, a := range db.byPC {

@@ -4,6 +4,17 @@
 // frequencies with confidence intervals (§5.1), and analyzes paired
 // samples for concurrency metrics — overlap, wasted issue slots (§5.2.3),
 // and neighborhood IPC (§5.2.4).
+//
+// Two layers share the work. DB is the single-owner aggregation core:
+// exact, not concurrency-safe, and its accessors (Get, HotPCs) return
+// pointers that alias live state. SafeDB is the concurrent serving
+// layer: writers go through its lock while readers get immutable,
+// atomically-published snapshots (View) backed by streaming summaries —
+// a space-saving top-K sketch (SpaceSaving), log-bucketed quantile
+// sketches (QuantileSketch), and a time-windowed ring (WindowRing) — so
+// hot-PC and percentile queries are O(K), never O(DB). DESIGN.md §13
+// specifies the query & summary model; every approximate answer carries
+// its error bound.
 package profile
 
 import (

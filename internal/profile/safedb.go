@@ -3,29 +3,145 @@ package profile
 import (
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"profileme/internal/core"
 	"profileme/internal/isa"
 )
 
-// SafeDB wraps a DB with an RWMutex so one aggregate can be shared
-// between concurrent ingesters (Merge, RecordLoss) and readers
-// (estimator queries, reports, Save). It is the concurrency boundary the
-// pmsimd service builds on: a plain DB stays single-owner (see the DB doc
-// comment), and the moment two goroutines need the same database, it goes
-// behind a SafeDB.
+// SafeDB wraps a DB with an RWMutex for writers plus an epoch-based
+// copy-on-write read path: every write publishes an immutable View
+// (counters, top-K sketch rows, latency quantile summaries) that readers
+// load with a single atomic pointer read. The hot query path —
+// /v1/hotpcs, /v1/stats, windowed "last N seconds" queries — therefore
+// takes NO lock that contends with the merge loop; only the exact
+// fallbacks (HotPCsExact, Get, PCs, Save, per-PC estimators) still take
+// the read lock and pay the deep-copy cost.
 //
-// Reader methods never leak interior pointers: accumulators are returned
-// by value with their slices deep-copied, so a caller can hold a result
-// across later merges without racing the writers.
+// It is the concurrency boundary the pmsimd service builds on: a plain
+// DB stays single-owner (see the DB doc comment), and the moment two
+// goroutines need the same database, it goes behind a SafeDB.
+//
+// Copy-vs-alias semantics: reader methods never leak interior pointers
+// into the live database. Exact-path results (Get, HotPCsExact) are
+// returned by value with slices deep-copied; View() returns a shared
+// IMMUTABLE snapshot that callers must treat as read-only but may retain
+// forever; HotPCs copies rows out of the view before returning them, so
+// its results are safe to mutate.
 type SafeDB struct {
 	mu sync.RWMutex
 	db *DB
+
+	cfg    SketchConfig
+	topk   *SpaceSaving
+	window *WindowRing
+	lat    [NumLatencyKinds]*QuantileSketch
+	inprog *QuantileSketch
+
+	epoch     uint64
+	publishes uint64
+	sinceRows int
+	view      atomic.Pointer[View]
 }
 
-// NewSafeDB wraps db. The caller must hand over ownership: after this
-// call, all access to db goes through the wrapper.
-func NewSafeDB(db *DB) *SafeDB { return &SafeDB{db: db} }
+// NewSafeDB wraps db with default sketch parameters (SketchConfig zero
+// values). The caller must hand over ownership: after this call, all
+// access to db goes through the wrapper.
+func NewSafeDB(db *DB) *SafeDB { return NewSafeDBWith(db, SketchConfig{}) }
+
+// NewSafeDBWith wraps db with explicit sketch parameters, seeding the
+// top-K and quantile sketches from db's existing contents (one O(DB)
+// pass — the restart-from-checkpoint path) and publishing the initial
+// view. The windowed ring starts empty: historical samples carry no
+// arrival timestamps.
+func NewSafeDBWith(db *DB, cfg SketchConfig) *SafeDB {
+	cfg.normalize()
+	s := &SafeDB{
+		db:     db,
+		cfg:    cfg,
+		topk:   NewSpaceSaving(cfg.TopK),
+		window: NewWindowRing(cfg.WindowBuckets, cfg.BucketDur, cfg.TopK),
+		inprog: NewQuantileSketch(cfg.Alpha),
+	}
+	for i := range s.lat {
+		s.lat[i] = NewQuantileSketch(cfg.Alpha)
+	}
+	for pc, a := range db.byPC {
+		s.topk.Add(pc, a.Samples)
+		for i := 0; i < NumLatencyKinds; i++ {
+			if a.LatCount[i] > 0 {
+				s.lat[i].AddN(float64(a.LatSum[i])/float64(a.LatCount[i]), a.LatCount[i])
+			}
+		}
+		if a.InProgressCount > 0 {
+			s.inprog.AddN(float64(a.InProgressSum)/float64(a.InProgressCount), a.InProgressCount)
+		}
+	}
+	s.mu.Lock()
+	s.publishLocked(true)
+	s.mu.Unlock()
+	return s
+}
+
+// View returns the latest published snapshot: one atomic load, no lock,
+// no copies. The result is immutable and shared — treat it as read-only
+// (see the View doc). It is never nil after construction.
+func (s *SafeDB) View() *View { return s.view.Load() }
+
+// publishLocked builds and installs a new view. Caller holds mu (write).
+// rows=false is the cheap counter-only republish: the previous view's
+// row and latency slices are shared (they are immutable), so it is O(1).
+// rows=true rebuilds the top-K rows (O(K log K) plus K accumulator deep
+// copies) and the latency summaries.
+func (s *SafeDB) publishLocked(rows bool) {
+	s.epoch++
+	v := &View{
+		Epoch: s.epoch,
+		When:  s.cfg.Now(),
+		Counters: Counters{
+			Samples:         s.db.Samples(),
+			Pairs:           s.db.Pairs(),
+			Lost:            s.db.Lost(),
+			CorruptRejected: s.db.CorruptRejected(),
+			LossRate:        s.db.LossRate(),
+		},
+		S:        s.db.S,
+		LossCorr: s.db.lossCorrection(),
+		TopKCap:  s.cfg.TopK,
+		SketchN:  s.topk.N(),
+		Floor:    s.topk.MinCount(),
+	}
+	if prev := s.view.Load(); !rows && prev != nil {
+		v.TopK = prev.TopK
+		v.Latencies = prev.Latencies
+		v.byPC = prev.byPC
+	} else {
+		s.publishes++
+		items := s.topk.Items()
+		v.TopK = make([]HotView, 0, len(items))
+		v.byPC = make(map[uint64]*HotView, len(items))
+		for _, e := range items {
+			hv := HotView{Est: e.Count, MaxErr: e.Err}
+			if a := s.db.byPC[e.PC]; a != nil {
+				hv.Acc = copyAccum(a)
+			} else {
+				hv.Acc = PCAccum{PC: e.PC}
+			}
+			v.TopK = append(v.TopK, hv)
+		}
+		for i := range v.TopK {
+			v.byPC[v.TopK[i].Acc.PC] = &v.TopK[i]
+		}
+		v.Latencies = make([]QuantileSummary, 0, NumLatencyKinds+1)
+		for i := 0; i < NumLatencyKinds; i++ {
+			v.Latencies = append(v.Latencies, s.lat[i].summarize(LatencyKindName(i)))
+		}
+		v.Latencies = append(v.Latencies, s.inprog.summarize("inprogress"))
+		s.sinceRows = 0
+	}
+	s.view.Store(v)
+}
 
 // SamplingConfig returns the wrapped database's sampling configuration —
 // what an incoming shard must match to be mergeable.
@@ -35,76 +151,111 @@ func (s *SafeDB) SamplingConfig() (interval float64, window, width int, tNear in
 	return s.db.S, s.db.W, s.db.C, s.db.TNear
 }
 
-// Merge folds a shard database into the aggregate (write lock). The
-// shard must not be accessed concurrently by anyone else; ownership of
-// its counts transfers to the aggregate.
+// Merge folds a shard database into the aggregate (write lock), updates
+// the streaming summaries with the shard's per-PC deltas, and publishes
+// a fresh view with rebuilt rows. The shard must not be accessed
+// concurrently by anyone else; ownership of its counts transfers to the
+// aggregate.
 func (s *SafeDB) Merge(other *DB) error {
+	now := s.cfg.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.db.Merge(other)
+	if err := s.db.Merge(other); err != nil {
+		return err
+	}
+	for pc, a := range other.byPC {
+		s.topk.Add(pc, a.Samples)
+		s.window.Add(now, pc, a.Samples)
+		for i := 0; i < NumLatencyKinds; i++ {
+			if a.LatCount[i] > 0 {
+				s.lat[i].AddN(float64(a.LatSum[i])/float64(a.LatCount[i]), a.LatCount[i])
+			}
+		}
+		if a.InProgressCount > 0 {
+			s.inprog.AddN(float64(a.InProgressSum)/float64(a.InProgressCount), a.InProgressCount)
+		}
+	}
+	s.publishLocked(true)
+	return nil
 }
 
-// Add folds one sample into the aggregate (write lock).
+// Add folds one sample into the aggregate (write lock) and the
+// summaries. Counters republish on every Add; sketch rows are rebuilt
+// every SketchConfig.PublishEvery adds (the view's row staleness bound
+// on the per-sample path).
 func (s *SafeDB) Add(smp core.Sample) {
+	now := s.cfg.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	before := s.db.corruptRejected
 	s.db.Add(smp)
+	if s.db.corruptRejected == before {
+		s.addRecordSketch(now, &smp.First)
+		if smp.Paired {
+			s.addRecordSketch(now, &smp.Second)
+		}
+	}
+	s.sinceRows++
+	s.publishLocked(s.sinceRows >= s.cfg.PublishEvery)
 }
 
-// RecordLoss notes n captured-but-never-delivered samples (write lock).
+// addRecordSketch mirrors DB.addRecord for the sketch layer. Caller
+// holds mu (write).
+func (s *SafeDB) addRecordSketch(now time.Time, r *core.Record) {
+	if r.Events.Has(core.EvNoInstruction) {
+		return
+	}
+	s.topk.Add(r.PC, 1)
+	s.window.Add(now, r.PC, 1)
+	for i, lk := range latencyKinds {
+		if lat, ok := r.Latency(lk.From, lk.To); ok {
+			s.lat[i].Add(float64(lat))
+		}
+	}
+	if from, to, ok := r.InProgress(); ok {
+		s.inprog.Add(float64(to - from))
+	}
+}
+
+// RecordLoss notes n captured-but-never-delivered samples (write lock)
+// and republishes counters.
 func (s *SafeDB) RecordLoss(n uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.db.RecordLoss(n)
+	s.publishLocked(false)
 }
 
 // ReverseLoss retracts n samples previously recorded as loss (write
-// lock) — see DB.ReverseLoss.
+// lock) — see DB.ReverseLoss — and republishes counters.
 func (s *SafeDB) ReverseLoss(n uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.db.ReverseLoss(n)
+	s.publishLocked(false)
 }
 
-// Samples returns the number of delivered samples.
-func (s *SafeDB) Samples() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.db.Samples()
-}
+// Samples returns the number of delivered samples (lock-free, from the
+// published view).
+func (s *SafeDB) Samples() uint64 { return s.View().Counters.Samples }
 
-// Pairs returns the number of paired samples.
-func (s *SafeDB) Pairs() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.db.Pairs()
-}
+// Pairs returns the number of paired samples (lock-free).
+func (s *SafeDB) Pairs() uint64 { return s.View().Counters.Pairs }
 
-// Lost returns the total samples known lost before aggregation.
-func (s *SafeDB) Lost() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.db.Lost()
-}
+// Lost returns the total samples known lost before aggregation
+// (lock-free).
+func (s *SafeDB) Lost() uint64 { return s.View().Counters.Lost }
 
 // CorruptRejected returns the count of delivered samples rejected as
-// damaged.
-func (s *SafeDB) CorruptRejected() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.db.CorruptRejected()
-}
+// damaged (lock-free).
+func (s *SafeDB) CorruptRejected() uint64 { return s.View().Counters.CorruptRejected }
 
 // LossRate returns the fraction of captured samples that never made it
-// into the aggregate.
-func (s *SafeDB) LossRate() float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.db.LossRate()
-}
+// into the aggregate (lock-free).
+func (s *SafeDB) LossRate() float64 { return s.View().Counters.LossRate }
 
 // Counters is the cheap whole-aggregate rollup: plain totals, no per-PC
-// state.
+// state. It is a value type — snapshots never alias live state.
 type Counters struct {
 	Samples         uint64
 	Pairs           uint64
@@ -113,37 +264,48 @@ type Counters struct {
 	LossRate        float64
 }
 
-// CountersSnapshot returns every scalar counter under one read lock and
-// with no deep copies — the read path for /v1/stats and readiness
-// polls, which must stay O(1) and never contend with merges the way the
-// per-PC snapshot methods (HotPCs, Get) necessarily do.
-func (s *SafeDB) CountersSnapshot() Counters {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return Counters{
-		Samples:         s.db.Samples(),
-		Pairs:           s.db.Pairs(),
-		Lost:            s.db.Lost(),
-		CorruptRejected: s.db.CorruptRejected(),
-		LossRate:        s.db.LossRate(),
+// CountersSnapshot returns every scalar counter from the published view
+// — one atomic load, no lock, no copies. This is the read path for
+// /v1/stats and readiness polls, which must never contend with merges.
+// The counters are exact as of the view epoch; every write republishes
+// them, so a snapshot taken after a write completes reflects that write.
+func (s *SafeDB) CountersSnapshot() Counters { return s.View().Counters }
+
+// SketchStats reports the sketch layer's health for /v1/stats.
+func (s *SafeDB) SketchStats() SketchStats {
+	v := s.View()
+	return SketchStats{
+		Epoch:           v.Epoch,
+		Publishes:       atomic.LoadUint64(&s.publishes),
+		TopK:            v.TopKCap,
+		TrackedPCs:      len(v.TopK),
+		SketchN:         v.SketchN,
+		Floor:           v.Floor,
+		WindowBuckets:   s.cfg.WindowBuckets,
+		WindowBucketMS:  s.window.BucketDur().Milliseconds(),
+		WindowHorizonMS: s.window.Horizon().Milliseconds(),
+		Latencies:       v.Latencies,
 	}
 }
 
-// EstimatedCount estimates how many times pc was fetched, loss-corrected.
+// EstimatedCount estimates how many times pc was fetched, loss-corrected
+// (read lock: per-PC map access on the live database).
 func (s *SafeDB) EstimatedCount(pc uint64) float64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.db.EstimatedCount(pc)
 }
 
-// EstimatedEventCount estimates occurrences of ev at pc, loss-corrected.
+// EstimatedEventCount estimates occurrences of ev at pc, loss-corrected
+// (read lock).
 func (s *SafeDB) EstimatedEventCount(pc uint64, ev core.Event) float64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.db.EstimatedEventCount(pc, ev)
 }
 
-// PCs returns all profiled PCs in ascending order.
+// PCs returns all profiled PCs in ascending order (read lock; O(DB) —
+// an inherently exact, whole-database scan).
 func (s *SafeDB) PCs() []uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -151,7 +313,8 @@ func (s *SafeDB) PCs() []uint64 {
 }
 
 // Get returns a deep copy of the accumulator for pc; ok is false when the
-// PC has never been sampled.
+// PC has never been sampled (read lock). The copy shares no slices with
+// the live database and is safe to retain and mutate.
 func (s *SafeDB) Get(pc uint64) (PCAccum, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -162,9 +325,33 @@ func (s *SafeDB) Get(pc uint64) (PCAccum, bool) {
 	return copyAccum(a), true
 }
 
-// HotPCs returns deep copies of the n hottest accumulators, descending by
-// sample count.
+// HotPCs returns the n hottest accumulators, descending by sample count.
+// For n within the sketch capacity it serves O(n) from the published
+// view — sketch-backed: membership and order are approximate with the
+// space-saving bounds (exact whenever the aggregate has at most K
+// distinct PCs), and contents are exact as of the view epoch. Larger n
+// falls back to HotPCsExact. Results are deep copies, safe to mutate.
 func (s *SafeDB) HotPCs(n int) []PCAccum {
+	if n > 0 && n <= s.cfg.TopK {
+		v := s.View()
+		rows := v.TopK
+		if len(rows) > n {
+			rows = rows[:n]
+		}
+		out := make([]PCAccum, len(rows))
+		for i := range rows {
+			out[i] = copyAccum(&rows[i].Acc)
+		}
+		return out
+	}
+	return s.HotPCsExact(n)
+}
+
+// HotPCsExact returns deep copies of the n hottest accumulators from the
+// live database: the exact fallback path. It takes the read lock and
+// pays an O(DB log DB) sort plus n deep copies — the cost the sketch
+// path exists to avoid.
+func (s *SafeDB) HotPCsExact(n int) []PCAccum {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	accs := s.db.HotPCs(n)
@@ -175,15 +362,25 @@ func (s *SafeDB) HotPCs(n int) []PCAccum {
 	return out
 }
 
+// WindowHotPCs answers "hot PCs in the last `window`" from the ring of
+// time-bucketed sketches: O(K * buckets), never O(DB), and no SafeDB
+// lock (the ring has its own bucket-granular lock with O(log K) writer
+// hold times). Rows are sketch estimates only — per-bucket rings keep no
+// accumulators.
+func (s *SafeDB) WindowHotPCs(window time.Duration, n int) WindowResult {
+	return s.window.Query(s.cfg.Now(), window, n)
+}
+
 // Save writes the aggregate as a versioned, checksummed envelope (read
-// lock: serialization does not mutate the database).
+// lock: serialization does not mutate the database). Sketch state is
+// derived and NOT persisted; a reload reseeds it (NewSafeDBWith).
 func (s *SafeDB) Save(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.db.Save(w)
 }
 
-// Report renders the hot-instruction table.
+// Report renders the hot-instruction table (read lock; exact path).
 func (s *SafeDB) Report(prog *isa.Program, n int) string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -191,7 +388,7 @@ func (s *SafeDB) Report(prog *isa.Program, n int) string {
 }
 
 // copyAccum deep-copies an accumulator so the result shares no slices
-// with the live database.
+// with the source.
 func copyAccum(a *PCAccum) PCAccum {
 	out := *a
 	if a.Addrs != nil {

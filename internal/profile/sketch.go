@@ -1,0 +1,360 @@
+package profile
+
+import (
+	"math"
+	"sort"
+)
+
+// This file holds the two streaming summaries the query path serves from:
+// a space-saving heavy-hitters sketch (top-K hot PCs in O(K) memory) and
+// a DDSketch-style log-bucketed quantile sketch (latency percentiles with
+// a bounded relative error). Both are deterministic, mergeable, and
+// maintained incrementally at merge time, so a query never has to walk
+// the O(DB) per-PC map. The property tests in sketch_test.go pin the
+// error bounds stated here against exact answers.
+
+// SSEntry is one space-saving counter: a tracked PC, its estimated
+// count, and the worst-case overcount the estimate carries. The sketch's
+// core guarantee (Metwally et al., "Efficient Computation of Frequent
+// and Top-k Elements in Data Streams"):
+//
+//	Count - Err <= true count <= Count
+//
+// and Err is at most the sketch floor (MinCount), itself at most N/K for
+// N total observations over K counters. SSEntry is a value type; rows
+// returned by Items/TopK alias nothing inside the sketch.
+type SSEntry struct {
+	PC    uint64
+	Count uint64 // estimate; never an undercount
+	Err   uint64 // maximum overcount folded into Count
+}
+
+// SpaceSaving is the bounded-memory heavy-hitters sketch. It is NOT safe
+// for concurrent use; SafeDB owns one under its write lock and publishes
+// immutable row snapshots for readers.
+//
+// Weighted updates are supported (Add with w > 1), which is what merge-
+// time maintenance needs: a shard merge contributes each PC's whole
+// sample delta in one update.
+type SpaceSaving struct {
+	k     int
+	n     uint64         // total weight observed
+	heap  []SSEntry      // min-heap by Count (ties broken arbitrarily)
+	index map[uint64]int // PC -> heap position
+}
+
+// NewSpaceSaving returns an empty sketch with k counters. Any item whose
+// true count exceeds N/k is guaranteed to be tracked; estimates overcount
+// by at most MinCount() <= N/k.
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k < 1 {
+		k = 1
+	}
+	return &SpaceSaving{k: k, index: make(map[uint64]int, k)}
+}
+
+// K returns the sketch capacity.
+func (s *SpaceSaving) K() int { return s.k }
+
+// N returns the total weight the sketch has observed.
+func (s *SpaceSaving) N() uint64 { return s.n }
+
+// Len returns the number of tracked PCs (at most K).
+func (s *SpaceSaving) Len() int { return len(s.heap) }
+
+// MinCount returns the sketch floor: the smallest tracked count once the
+// sketch is full, 0 before that. It bounds two things at once — the
+// maximum overcount of any reported estimate, and the maximum true count
+// of any PC the sketch is NOT tracking.
+func (s *SpaceSaving) MinCount() uint64 {
+	if len(s.heap) < s.k {
+		return 0
+	}
+	return s.heap[0].Count
+}
+
+// Add folds weight w for pc into the sketch: O(log K). If the sketch is
+// full and pc is untracked, the minimum counter is evicted and its count
+// becomes pc's inherited overcount (the space-saving step).
+func (s *SpaceSaving) Add(pc uint64, w uint64) {
+	if w == 0 {
+		return
+	}
+	s.n += w
+	if i, ok := s.index[pc]; ok {
+		s.heap[i].Count += w
+		s.siftDown(i)
+		return
+	}
+	if len(s.heap) < s.k {
+		s.heap = append(s.heap, SSEntry{PC: pc, Count: w})
+		s.siftUp(len(s.heap) - 1)
+		return
+	}
+	evicted := s.heap[0]
+	delete(s.index, evicted.PC)
+	s.heap[0] = SSEntry{PC: pc, Count: evicted.Count + w, Err: evicted.Count}
+	s.index[pc] = 0
+	s.siftDown(0)
+}
+
+// Get returns the entry for pc and whether it is tracked. The returned
+// entry is a copy.
+func (s *SpaceSaving) Get(pc uint64) (SSEntry, bool) {
+	i, ok := s.index[pc]
+	if !ok {
+		return SSEntry{}, false
+	}
+	return s.heap[i], true
+}
+
+// Items returns every tracked entry, descending by Count with PC as the
+// tie-break (matching DB.HotPCs ordering, so the sketch and the exact
+// path agree whenever the sketch has seen fewer than K distinct PCs and
+// is therefore exact). The slice and entries are copies.
+func (s *SpaceSaving) Items() []SSEntry {
+	out := make([]SSEntry, len(s.heap))
+	copy(out, s.heap)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+// Merge returns a new sketch summarizing the union stream of a and b —
+// the property that lets per-instance partials combine into a fleet
+// answer. For a PC tracked in only one input, the other input may have
+// seen it up to its floor times; that floor is added to both the count
+// and the error so the merged estimate keeps the never-undercount
+// guarantee. The merged floor (and so the error bound) is at most
+// floor(a) + floor(b).
+func Merge(a, b *SpaceSaving) *SpaceSaving {
+	k := a.k
+	if b.k < k {
+		k = b.k
+	}
+	type pair struct{ count, err uint64 }
+	union := make(map[uint64]pair, len(a.heap)+len(b.heap))
+	fa, fb := a.MinCount(), b.MinCount()
+	for _, e := range a.heap {
+		union[e.PC] = pair{e.Count, e.Err}
+	}
+	for _, e := range b.heap {
+		p, ok := union[e.PC]
+		if ok {
+			union[e.PC] = pair{p.count + e.Count, p.err + e.Err}
+		} else {
+			// Unseen by a: a may still have counted it up to fa times.
+			union[e.PC] = pair{e.Count + fa, e.Err + fa}
+		}
+	}
+	for _, e := range a.heap {
+		if _, tracked := b.index[e.PC]; !tracked {
+			p := union[e.PC]
+			union[e.PC] = pair{p.count + fb, p.err + fb}
+		}
+	}
+	entries := make([]SSEntry, 0, len(union))
+	for pc, p := range union {
+		entries = append(entries, SSEntry{PC: pc, Count: p.count, Err: p.err})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].PC < entries[j].PC
+	})
+	if len(entries) > k {
+		entries = entries[:k]
+	}
+	m := NewSpaceSaving(k)
+	m.n = a.n + b.n
+	for _, e := range entries {
+		m.heap = append(m.heap, e)
+		m.index[e.PC] = len(m.heap) - 1
+	}
+	// Restore the min-heap invariant over the kept entries.
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+	for i := range m.heap {
+		m.index[m.heap[i].PC] = i
+	}
+	return m
+}
+
+func (s *SpaceSaving) less(i, j int) bool { return s.heap[i].Count < s.heap[j].Count }
+
+func (s *SpaceSaving) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.index[s.heap[i].PC] = i
+	s.index[s.heap[j].PC] = j
+}
+
+func (s *SpaceSaving) siftUp(i int) {
+	s.index[s.heap[i].PC] = i
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			return
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *SpaceSaving) siftDown(i int) {
+	s.index[s.heap[i].PC] = i
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s.heap) && s.less(l, min) {
+			min = l
+		}
+		if r < len(s.heap) && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		s.swap(i, min)
+		i = min
+	}
+}
+
+// DefaultQuantileAlpha is the default relative-error target for quantile
+// sketches: a reported quantile is within ±5% of the exact value.
+const DefaultQuantileAlpha = 0.05
+
+// QuantileSketch is a DDSketch-style log-bucketed histogram over
+// non-negative values (cycle latencies here): bucket i covers
+// (gamma^(i-1), gamma^i] with gamma = (1+alpha)/(1-alpha), so the bucket
+// midpoint estimate of any quantile is within alpha relative error of
+// the exact answer. Values in [0, 1] land in a dedicated zero bucket and
+// are reported as 0 (sub-cycle latencies do not exist in this domain).
+//
+// The sketch is deterministic and mergeable (bucket counts add); it is
+// NOT safe for concurrent use — SafeDB owns its sketches under the write
+// lock and publishes computed summaries into the read view.
+type QuantileSketch struct {
+	alpha  float64
+	gamma  float64
+	lgamma float64
+	zero   uint64
+	count  uint64
+	bkt    map[int]uint64
+}
+
+// NewQuantileSketch returns an empty sketch with the given relative-
+// error target (DefaultQuantileAlpha when alpha <= 0 or >= 1).
+func NewQuantileSketch(alpha float64) *QuantileSketch {
+	if alpha <= 0 || alpha >= 1 {
+		alpha = DefaultQuantileAlpha
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &QuantileSketch{alpha: alpha, gamma: gamma, lgamma: math.Log(gamma), bkt: make(map[int]uint64)}
+}
+
+// Alpha returns the sketch's relative-error bound.
+func (q *QuantileSketch) Alpha() float64 { return q.alpha }
+
+// Count returns the number of observations folded in.
+func (q *QuantileSketch) Count() uint64 { return q.count }
+
+// Add folds one observation into the sketch. Negative values are
+// clamped to the zero bucket (they violate the latency domain but must
+// not corrupt the histogram).
+func (q *QuantileSketch) Add(v float64) { q.AddN(v, 1) }
+
+// AddN folds n identical observations in one O(1) update — the merge-
+// time path, where a shard contributes a per-PC mean weighted by its
+// contributing-sample count.
+func (q *QuantileSketch) AddN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	q.count += n
+	if v <= 1 {
+		q.zero += n
+		return
+	}
+	i := int(math.Ceil(math.Log(v) / q.lgamma))
+	q.bkt[i] += n
+}
+
+// Quantile returns the estimated q-quantile (q in [0,1]), within Alpha
+// relative error of the exact quantile of the observed stream. With no
+// observations it returns 0.
+func (q *QuantileSketch) Quantile(p float64) float64 {
+	if q.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(p * float64(q.count-1))
+	if rank < q.zero {
+		return 0
+	}
+	idxs := make([]int, 0, len(q.bkt))
+	for i := range q.bkt {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	cum := q.zero
+	for _, i := range idxs {
+		cum += q.bkt[i]
+		if rank < cum {
+			// Midpoint of (gamma^(i-1), gamma^i]: 2*gamma^i/(gamma+1).
+			return 2 * math.Pow(q.gamma, float64(i)) / (q.gamma + 1)
+		}
+	}
+	// Unreachable when counts are consistent; fall back to the top bucket.
+	return 2 * math.Pow(q.gamma, float64(idxs[len(idxs)-1])) / (q.gamma + 1)
+}
+
+// MergeFrom folds another sketch's buckets into q. Both must share the
+// same alpha (same bucket boundaries); mismatches are a programming
+// error and panic.
+func (q *QuantileSketch) MergeFrom(o *QuantileSketch) {
+	if q.alpha != o.alpha {
+		panic("profile: merging quantile sketches with different alphas")
+	}
+	q.zero += o.zero
+	q.count += o.count
+	for i, n := range o.bkt {
+		q.bkt[i] += n
+	}
+}
+
+// QuantileSummary is the published form of one latency distribution:
+// fixed percentiles computed at view-publish time so readers never touch
+// the live sketch. RelError is the sketch's alpha: each percentile is
+// within ±RelError (relative) of the exact value over the observed
+// stream.
+type QuantileSummary struct {
+	Kind     string  `json:"kind"`
+	Count    uint64  `json:"count"`
+	P50      float64 `json:"p50"`
+	P90      float64 `json:"p90"`
+	P99      float64 `json:"p99"`
+	RelError float64 `json:"rel_error"`
+}
+
+// summarize computes the published percentiles for one sketch.
+func (q *QuantileSketch) summarize(kind string) QuantileSummary {
+	return QuantileSummary{
+		Kind:     kind,
+		Count:    q.count,
+		P50:      q.Quantile(0.50),
+		P90:      q.Quantile(0.90),
+		P99:      q.Quantile(0.99),
+		RelError: q.alpha,
+	}
+}

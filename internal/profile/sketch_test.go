@@ -1,0 +1,460 @@
+package profile
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"profileme/internal/core"
+	"profileme/internal/stats"
+)
+
+// zipfStream draws a skewed stream of PCs: rank r gets weight ~ 1/(r+1),
+// the shape that makes heavy-hitter sketches earn their keep.
+func zipfStream(rng *stats.RNG, distinct, draws int) []uint64 {
+	cum := make([]float64, distinct)
+	total := 0.0
+	for i := 0; i < distinct; i++ {
+		total += 1 / float64(i+1)
+		cum[i] = total
+	}
+	out := make([]uint64, draws)
+	for i := range out {
+		x := rng.Float64() * total
+		j := sort.SearchFloat64s(cum, x)
+		if j >= distinct {
+			j = distinct - 1
+		}
+		out[i] = 0x400000 + 8*uint64(j)
+	}
+	return out
+}
+
+// TestSpaceSavingBounds is the sketch's property test: on seeded skewed
+// streams, every estimate obeys est-err <= true <= est, the error never
+// exceeds the floor (<= N/K), and every PC whose true count exceeds N/K
+// is tracked (the Metwally heavy-hitter guarantee).
+func TestSpaceSavingBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		k := rng.IntRange(8, 64)
+		distinct := rng.IntRange(k/2, 8*k)
+		draws := rng.IntRange(1000, 20000)
+		sk := NewSpaceSaving(k)
+		truth := make(map[uint64]uint64)
+		for _, pc := range zipfStream(rng, distinct, draws) {
+			w := uint64(rng.IntRange(1, 4))
+			sk.Add(pc, w)
+			truth[pc] += w
+		}
+		var n uint64
+		for _, c := range truth {
+			n += c
+		}
+		if sk.N() != n {
+			t.Errorf("seed %d: N=%d want %d", seed, sk.N(), n)
+			return false
+		}
+		floor := sk.MinCount()
+		if floor > n/uint64(k) {
+			t.Errorf("seed %d: floor %d exceeds N/K=%d", seed, floor, n/uint64(k))
+			return false
+		}
+		for _, e := range sk.Items() {
+			tc := truth[e.PC]
+			if e.Count < tc || e.Count-e.Err > tc {
+				t.Errorf("seed %d: pc %#x est %d err %d true %d", seed, e.PC, e.Count, e.Err, tc)
+				return false
+			}
+			if e.Err > floor {
+				t.Errorf("seed %d: pc %#x err %d above floor %d", seed, e.PC, e.Err, floor)
+				return false
+			}
+		}
+		for pc, tc := range truth {
+			if tc > floor {
+				if _, ok := sk.Get(pc); !ok {
+					t.Errorf("seed %d: heavy hitter %#x (true %d > floor %d) untracked", seed, pc, tc, floor)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpaceSavingExactWhenSmall pins the exactness contract the serving
+// path relies on: with at most K distinct PCs the sketch IS the exact
+// answer, in DB.HotPCs order, with zero error.
+func TestSpaceSavingExactWhenSmall(t *testing.T) {
+	sk := NewSpaceSaving(16)
+	truth := map[uint64]uint64{0x10: 5, 0x20: 9, 0x30: 9, 0x40: 1, 0x50: 3}
+	for pc, c := range truth {
+		for i := uint64(0); i < c; i++ {
+			sk.Add(pc, 1)
+		}
+	}
+	items := sk.Items()
+	want := []uint64{0x20, 0x30, 0x10, 0x50, 0x40} // count desc, PC asc
+	if len(items) != len(want) {
+		t.Fatalf("got %d items, want %d", len(items), len(want))
+	}
+	for i, e := range items {
+		if e.PC != want[i] || e.Count != truth[e.PC] || e.Err != 0 {
+			t.Fatalf("item %d = %+v, want pc %#x count %d err 0", i, e, want[i], truth[want[i]])
+		}
+	}
+	if sk.MinCount() != 0 {
+		t.Fatalf("non-full sketch floor = %d, want 0", sk.MinCount())
+	}
+}
+
+// TestSpaceSavingMergeBounds verifies mergeability — the property the
+// router's fleet scatter-gather depends on: the merged sketch keeps the
+// never-undercount bound against the union stream's true counts.
+func TestSpaceSavingMergeBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		k := rng.IntRange(8, 48)
+		truth := make(map[uint64]uint64)
+		build := func() *SpaceSaving {
+			sk := NewSpaceSaving(k)
+			distinct := rng.IntRange(k/2, 6*k)
+			for _, pc := range zipfStream(rng, distinct, rng.IntRange(500, 8000)) {
+				sk.Add(pc, 1)
+				truth[pc]++
+			}
+			return sk
+		}
+		a, b := build(), build()
+		m := Merge(a, b)
+		if m.N() != a.N()+b.N() {
+			t.Errorf("seed %d: merged N=%d want %d", seed, m.N(), a.N()+b.N())
+			return false
+		}
+		for _, e := range m.Items() {
+			tc := truth[e.PC]
+			if e.Count < tc || e.Count-e.Err > tc {
+				t.Errorf("seed %d: merged pc %#x est %d err %d true %d", seed, e.PC, e.Count, e.Err, tc)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantileSketchRelativeError checks the DDSketch bound on seeded
+// streams: every reported percentile is within alpha relative error of
+// the exact order statistic.
+func TestQuantileSketchRelativeError(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		q := NewQuantileSketch(DefaultQuantileAlpha)
+		n := rng.IntRange(500, 10000)
+		vals := make([]float64, n)
+		for i := range vals {
+			// Latency-shaped: mostly small with a heavy tail.
+			v := float64(rng.IntRange(2, 40))
+			if rng.Bool(0.05) {
+				v *= float64(rng.IntRange(10, 100))
+			}
+			vals[i] = v
+			q.Add(v)
+		}
+		sort.Float64s(vals)
+		for _, p := range []float64{0.5, 0.9, 0.99} {
+			exact := vals[int(p*float64(n-1))]
+			got := q.Quantile(p)
+			if rel := math.Abs(got-exact) / exact; rel > q.Alpha()+1e-9 {
+				t.Errorf("seed %d: p%.0f = %g, exact %g, rel err %.4f > alpha %.4f",
+					seed, p*100, got, exact, rel, q.Alpha())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantileSketchMerge: bucket-wise merging must equal having fed one
+// sketch the concatenated stream (identical buckets, identical answers).
+func TestQuantileSketchMerge(t *testing.T) {
+	rng := stats.NewRNG(7)
+	a, b, both := NewQuantileSketch(0), NewQuantileSketch(0), NewQuantileSketch(0)
+	for i := 0; i < 3000; i++ {
+		v := float64(rng.IntRange(1, 500))
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		both.Add(v)
+	}
+	a.MergeFrom(b)
+	if a.Count() != both.Count() {
+		t.Fatalf("merged count %d want %d", a.Count(), both.Count())
+	}
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(p) != both.Quantile(p) {
+			t.Fatalf("p=%v: merged %g, combined %g", p, a.Quantile(p), both.Quantile(p))
+		}
+	}
+}
+
+// TestWindowRing drives the time-bucketed ring with an explicit clock:
+// in-window buckets count, out-of-window buckets expire, oversized
+// requests clamp to the horizon, and long idle gaps reset cleanly.
+func TestWindowRing(t *testing.T) {
+	base := time.Unix(1000, 0)
+	r := NewWindowRing(4, time.Second, 8)
+
+	r.Add(base, 0xA, 3)
+	r.Add(base.Add(1*time.Second), 0xB, 2)
+	r.Add(base.Add(2*time.Second), 0xA, 1)
+
+	now := base.Add(2500 * time.Millisecond)
+	res := r.Query(now, 3*time.Second, 10)
+	if res.Samples != 6 || res.Buckets != 3 || res.Clamped {
+		t.Fatalf("full window: %+v", res)
+	}
+	if len(res.Rows) != 2 || res.Rows[0].PC != 0xA || res.Rows[0].Count != 4 || res.Rows[1].Count != 2 {
+		t.Fatalf("full-window rows: %+v", res.Rows)
+	}
+
+	// A 1s lookback from base+2.5s covers [base+1.5s, base+2.5s]: the
+	// base+2s bucket fully, and the base+1s bucket partially — bucket
+	// granularity means a partially-overlapped bucket contributes whole.
+	res = r.Query(now, time.Second, 10)
+	if res.Samples != 3 || res.Buckets != 2 || res.Rows[0].PC != 0xB || res.Rows[0].Count != 2 {
+		t.Fatalf("short window: %+v", res)
+	}
+
+	// Requests beyond the horizon clamp.
+	res = r.Query(now, time.Minute, 10)
+	if !res.Clamped || res.Window != 4*time.Second {
+		t.Fatalf("clamp: %+v", res)
+	}
+
+	// Rotate to base+5s: the ring now covers [base+2s, base+6s), so the
+	// base and base+1s buckets have been reused and their data is gone.
+	r.Add(base.Add(5*time.Second), 0xC, 7)
+	res = r.Query(base.Add(5*time.Second), 4*time.Second, 10)
+	if res.Samples != 7+1 || len(res.Rows) != 2 || res.Rows[0].PC != 0xC {
+		t.Fatalf("post-rotation: %+v", res)
+	}
+
+	// A gap longer than the whole ring resets it.
+	r.Add(base.Add(time.Hour), 0xD, 1)
+	res = r.Query(base.Add(time.Hour), 4*time.Second, 10)
+	if res.Samples != 1 || len(res.Rows) != 1 || res.Rows[0].PC != 0xD {
+		t.Fatalf("post-gap: %+v", res)
+	}
+}
+
+// TestSafeDBSketchMatchesExact pins the serving contract for the common
+// case (distinct PCs <= K): SafeDB.HotPCs (sketch view) and HotPCsExact
+// (locked deep-copy scan) return identical rows, and the view's estimates
+// are exact with zero error.
+func TestSafeDBSketchMatchesExact(t *testing.T) {
+	// PublishEvery:1 rebuilds rows on every add, so the view is never
+	// stale relative to the live DB and the comparison below is exact.
+	agg := NewSafeDBWith(NewDB(16, 0, 4), SketchConfig{PublishEvery: 1})
+	for seed := uint64(0); seed < 6; seed++ {
+		if err := agg.Merge(safeShard(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := stats.NewRNG(42)
+	for i := 0; i < 200; i++ {
+		pc := 0x400 + 8*uint64(rng.Intn(13))
+		agg.Add(core.Sample{First: rec(pc, true, 0, 1, 2, 3, 5, 9)})
+	}
+
+	sketch := agg.HotPCs(10)
+	exact := agg.HotPCsExact(10)
+	if len(sketch) != len(exact) {
+		t.Fatalf("len mismatch: sketch %d exact %d", len(sketch), len(exact))
+	}
+	for i := range sketch {
+		if sketch[i].PC != exact[i].PC || sketch[i].Samples != exact[i].Samples {
+			t.Fatalf("row %d: sketch pc %#x/%d, exact pc %#x/%d",
+				i, sketch[i].PC, sketch[i].Samples, exact[i].PC, exact[i].Samples)
+		}
+	}
+	v := agg.View()
+	for _, hv := range v.TopK {
+		if hv.MaxErr != 0 || hv.Est != hv.Acc.Samples {
+			t.Fatalf("small DB must be exact: %+v", hv)
+		}
+	}
+}
+
+// TestSafeDBSketchBoundsUnderOverflow forces approximation (more distinct
+// PCs than K) and checks the published bounds hold against the live DB.
+func TestSafeDBSketchBoundsUnderOverflow(t *testing.T) {
+	// PublishEvery:1 keeps view rows in lockstep with the live DB: the
+	// bounds below compare published estimates against live truth, which
+	// is only valid when no adds have landed since the last row rebuild.
+	agg := NewSafeDBWith(NewDB(16, 0, 4), SketchConfig{TopK: 32, PublishEvery: 1})
+	rng := stats.NewRNG(9)
+	for _, pc := range zipfStream(rng, 500, 4000) {
+		agg.Add(core.Sample{First: rec(pc, true, 0, 1, 2, 3, 5, 9)})
+	}
+	v := agg.View()
+	if v.Floor == 0 || v.SketchN == 0 {
+		t.Fatalf("overflowed sketch should have a floor: %+v", v)
+	}
+	if v.Floor > v.SketchN/uint64(v.TopKCap) {
+		t.Fatalf("floor %d exceeds N/K = %d", v.Floor, v.SketchN/uint64(v.TopKCap))
+	}
+	for _, hv := range v.TopK {
+		truth, _ := agg.Get(hv.Acc.PC)
+		if hv.Est < truth.Samples || hv.Est-hv.MaxErr > truth.Samples {
+			t.Fatalf("pc %#x: est %d err %d true %d", hv.Acc.PC, hv.Est, hv.MaxErr, truth.Samples)
+		}
+	}
+	// Every row the top-10 query returns must be a genuinely hot PC:
+	// its true count must beat the guarantee threshold for absent PCs.
+	for _, acc := range agg.HotPCs(10) {
+		if acc.Samples == 0 {
+			t.Fatalf("sketch served a never-sampled PC: %#x", acc.PC)
+		}
+	}
+}
+
+// TestSafeDBViewImmutableUnderRace is the race-hammered snapshot test:
+// readers grab views and windowed answers while writers merge and add at
+// full speed. Retained views must never change underneath the reader
+// (epochs stay self-consistent, counters monotonic), and the final state
+// is exact. Run with -race in CI.
+func TestSafeDBViewImmutableUnderRace(t *testing.T) {
+	agg := NewSafeDBWith(NewDB(16, 0, 4), SketchConfig{PublishEvery: 4})
+
+	const writers, merges, readers = 4, 30, 6
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+
+	var wantSamples uint64
+	for w := 0; w < writers; w++ {
+		wantSamples += merges * 50 // safeShard adds 50 singles
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < merges; i++ {
+				if err := agg.Merge(safeShard(uint64(w*merges + i))); err != nil {
+					t.Error(err)
+					return
+				}
+				agg.Add(core.Sample{First: rec(0x999, true, 0, 1, 2, 3, 5, 9)})
+				agg.ReverseLoss(0) // exercise counter-only publishes
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastEpoch uint64
+			for !stop.Load() {
+				v := agg.View()
+				if v.Epoch < lastEpoch {
+					t.Error("epoch went backwards")
+					return
+				}
+				lastEpoch = v.Epoch
+				// An immutable view must be internally consistent no
+				// matter how long we hold it: re-reading fields of the
+				// SAME view must agree with themselves.
+				c1, c2 := v.Counters, v.Counters
+				if c1 != c2 {
+					t.Error("view counters changed under reader")
+					return
+				}
+				for i := range v.TopK {
+					hv := &v.TopK[i]
+					if hv.Est < hv.Acc.Samples {
+						t.Errorf("view row under-estimates: est %d < samples %d", hv.Est, hv.Acc.Samples)
+						return
+					}
+					if v.Get(hv.Acc.PC) != hv {
+						t.Error("view byPC index inconsistent")
+						return
+					}
+				}
+				_ = agg.HotPCs(5)
+				_ = agg.WindowHotPCs(30*time.Second, 5)
+				_ = agg.CountersSnapshot()
+			}
+		}()
+	}
+
+	// Let writers finish, then release readers.
+	done := make(chan struct{})
+	go func() { defer close(done); wg.Wait() }()
+	go func() {
+		for i := 0; i < writers*merges; i++ {
+			if agg.Samples() >= wantSamples+uint64(writers*merges) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		stop.Store(true)
+	}()
+	<-done
+
+	got := agg.CountersSnapshot()
+	want := wantSamples + writers*merges // merged singles + direct Adds
+	if got.Samples != want {
+		t.Fatalf("final samples = %d, want %d", got.Samples, want)
+	}
+	if agg.View().Counters != got {
+		t.Fatal("published view disagrees with CountersSnapshot")
+	}
+}
+
+// TestViewLatencySummaries checks that the published quantile summaries
+// cover every latency kind plus in-progress, with counts and bounded
+// error, after both Add- and Merge-path feeding.
+func TestViewLatencySummaries(t *testing.T) {
+	agg := NewSafeDB(NewDB(16, 0, 4))
+	for i := 0; i < 100; i++ {
+		agg.Add(core.Sample{First: rec(0x40, true, 0, 1, 2, 3, 50, 100)})
+	}
+	if err := agg.Merge(safeShard(3)); err != nil {
+		t.Fatal(err)
+	}
+	v := agg.View()
+	if len(v.Latencies) != NumLatencyKinds+1 {
+		t.Fatalf("got %d summaries, want %d", len(v.Latencies), NumLatencyKinds+1)
+	}
+	byKind := map[string]QuantileSummary{}
+	for _, s := range v.Latencies {
+		byKind[s.Kind] = s
+	}
+	ip, ok := byKind["inprogress"]
+	if !ok || ip.Count == 0 {
+		t.Fatalf("missing inprogress summary: %+v", v.Latencies)
+	}
+	// The Add-path stream fed 100 identical fetch->retire-ready spans of
+	// 50 cycles plus the shard's; p50 must be within alpha of 50 or the
+	// shard's 5 — either way far from zero and positive.
+	if ip.P50 <= 0 || ip.RelError != DefaultQuantileAlpha {
+		t.Fatalf("inprogress summary wrong: %+v", ip)
+	}
+}

@@ -1,0 +1,161 @@
+package profile
+
+import (
+	"sync"
+	"time"
+)
+
+// WindowRing answers "hot PCs in the last N seconds" in O(K * buckets)
+// instead of O(DB): a fixed ring of time buckets, each holding its own
+// small space-saving sketch plus exact per-bucket sample counters. The
+// ring advances lazily on writes; queries merge the buckets overlapping
+// the requested window.
+//
+// Concurrency: the ring has its own RWMutex, separate from SafeDB's. A
+// write (O(log K)) takes the write lock for the sketch update only — it
+// never holds the lock for anything proportional to the database — and
+// queries take the read lock, so windowed queries contend with the merge
+// loop only for these O(log K) critical sections, never for an O(DB)
+// copy. The unwindowed sketch path is fully lock-free (see View).
+type WindowRing struct {
+	mu        sync.RWMutex
+	bucketDur time.Duration
+	k         int
+	buckets   []windowBucket
+	head      int       // current bucket
+	headStart time.Time // start of the current bucket's interval
+	started   bool
+}
+
+type windowBucket struct {
+	start   time.Time
+	sk      *SpaceSaving
+	samples uint64
+}
+
+// NewWindowRing builds a ring of n buckets of d each (horizon n*d),
+// tracking k counters per bucket.
+func NewWindowRing(n int, d time.Duration, k int) *WindowRing {
+	if n < 1 {
+		n = 1
+	}
+	if d <= 0 {
+		d = time.Second
+	}
+	r := &WindowRing{bucketDur: d, k: k, buckets: make([]windowBucket, n)}
+	for i := range r.buckets {
+		r.buckets[i].sk = NewSpaceSaving(k)
+	}
+	return r
+}
+
+// Horizon returns the maximum lookback the ring can answer.
+func (r *WindowRing) Horizon() time.Duration {
+	return time.Duration(len(r.buckets)) * r.bucketDur
+}
+
+// BucketDur returns the ring's bucket granularity.
+func (r *WindowRing) BucketDur() time.Duration { return r.bucketDur }
+
+// Add folds weight w for pc into the bucket covering now.
+func (r *WindowRing) Add(now time.Time, pc uint64, w uint64) {
+	r.mu.Lock()
+	r.advanceLocked(now)
+	b := &r.buckets[r.head]
+	b.sk.Add(pc, w)
+	b.samples += w
+	r.mu.Unlock()
+}
+
+// advanceLocked rotates the ring so the head bucket covers now. A long
+// idle gap resets stale buckets without looping once per elapsed bucket.
+func (r *WindowRing) advanceLocked(now time.Time) {
+	if !r.started {
+		r.started = true
+		r.headStart = now.Truncate(r.bucketDur)
+		r.buckets[r.head].start = r.headStart
+		return
+	}
+	steps := 0
+	for !now.Before(r.headStart.Add(r.bucketDur)) {
+		if steps >= len(r.buckets) {
+			// Everything in the ring is stale: reset in place.
+			for i := range r.buckets {
+				r.buckets[i] = windowBucket{sk: NewSpaceSaving(r.k)}
+			}
+			r.head = 0
+			r.headStart = now.Truncate(r.bucketDur)
+			r.buckets[0].start = r.headStart
+			return
+		}
+		r.head = (r.head + 1) % len(r.buckets)
+		r.headStart = r.headStart.Add(r.bucketDur)
+		r.buckets[r.head] = windowBucket{start: r.headStart, sk: NewSpaceSaving(r.k)}
+		steps++
+	}
+}
+
+// WindowResult is one windowed hot-PC answer. Rows carry sketch
+// estimates only (per-bucket rings keep no per-PC accumulators); Floor
+// bounds the estimate error exactly like SpaceSaving.MinCount, summed
+// over the merged buckets.
+type WindowResult struct {
+	// Window is the lookback actually served; Clamped is true when the
+	// request exceeded the ring horizon and was clamped to it.
+	Window  time.Duration
+	Clamped bool
+	// Buckets is how many ring buckets contributed.
+	Buckets int
+	// Samples is the exact number of samples recorded in those buckets.
+	Samples uint64
+	// Rows are the estimated hottest PCs in the window, descending.
+	Rows []SSEntry
+	// Floor is the merged sketch floor: any PC absent from Rows was seen
+	// at most Floor times in the window, and no row overcounts by more
+	// than its own Err.
+	Floor uint64
+}
+
+// Query merges the buckets overlapping [now-window, now] and returns the
+// top n rows. O(K * buckets); takes the ring's read lock only.
+func (r *WindowRing) Query(now time.Time, window time.Duration, n int) WindowResult {
+	res := WindowResult{Window: window}
+	if window <= 0 {
+		return res
+	}
+	if h := r.Horizon(); window > h {
+		res.Window, res.Clamped = h, true
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cutoff := now.Add(-res.Window)
+	var merged *SpaceSaving
+	for i := range r.buckets {
+		b := &r.buckets[i]
+		if b.sk.N() == 0 && b.samples == 0 {
+			continue
+		}
+		// A bucket contributes if any part of [start, start+dur) is
+		// inside the window and it is not from a previous ring lap.
+		if b.start.Add(r.bucketDur).Before(cutoff) || b.start.After(now) {
+			continue
+		}
+		res.Buckets++
+		res.Samples += b.samples
+		if merged == nil {
+			merged = Merge(b.sk, NewSpaceSaving(r.k))
+		} else {
+			merged = Merge(merged, b.sk)
+		}
+	}
+	if merged == nil {
+		return res
+	}
+	rows := merged.Items()
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	res.Rows = rows
+	res.Floor = merged.MinCount()
+	return res
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Query-parameter parsing for the read path. Every malformed or
+// out-of-range parameter is a client error: handlers return 400 with a
+// typed "param" error on the API error taxonomy (DESIGN.md §9 / §13),
+// never a 500 — the table-driven tests in query_params_test.go pin
+// this. Each helper returns a *paramError whose message names the
+// offending parameter, the rejected value, and the accepted form, so a
+// client can fix the request without reading the source.
+
+// paramError is a malformed/out-of-range query parameter: always a 400
+// with kind "param".
+type paramError struct {
+	name string
+	msg  string
+}
+
+func (e *paramError) Error() string { return fmt.Sprintf("parameter %q: %s", e.name, e.msg) }
+
+// intQueryParam parses an integer parameter with an inclusive range,
+// returning def when absent.
+func intQueryParam(r *http.Request, name string, def, lo, hi int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, &paramError{name, fmt.Sprintf("%q is not an integer", v)}
+	}
+	if n < lo || n > hi {
+		return 0, &paramError{name, fmt.Sprintf("%d out of range [%d,%d]", n, lo, hi)}
+	}
+	return n, nil
+}
+
+// boolQueryParam parses a boolean parameter ("true"/"false"/"1"/"0"),
+// returning def when absent.
+func boolQueryParam(r *http.Request, name string, def bool) (bool, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, &paramError{name, fmt.Sprintf("%q is not a boolean (true/false)", v)}
+	}
+	return b, nil
+}
+
+// durationQueryParam parses a positive duration parameter: a Go
+// duration string ("30s", "1m30s") or a bare number of seconds ("30").
+// Returns 0 when absent.
+func durationQueryParam(r *http.Request, name string) (time.Duration, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		if secs, serr := strconv.Atoi(v); serr == nil {
+			d = time.Duration(secs) * time.Second
+		} else {
+			return 0, &paramError{name, fmt.Sprintf("%q is not a duration (try 30s, 1m, or a number of seconds)", v)}
+		}
+	}
+	if d <= 0 {
+		return 0, &paramError{name, fmt.Sprintf("%v must be positive", d)}
+	}
+	return d, nil
+}
+
+// writeParamErr maps any parameter-parsing failure to the typed 400.
+func (s *Server) writeParamErr(w http.ResponseWriter, err error) {
+	s.writeErr(w, http.StatusBadRequest, "param", err.Error())
+}

@@ -9,9 +9,13 @@
 // Endpoints:
 //
 //	POST /v1/submit        shard profile submission (ingest JSON envelope)
-//	GET  /v1/hotpcs?n=10   top-N hot PCs with loss-corrected estimates
-//	GET  /v1/estimate?pc=  per-PC estimator rollup (optionally &event=)
-//	GET  /v1/stats         ingest/queue/breaker/loss/WAL/witness counters
+//	GET  /v1/hotpcs?n=10   top-N hot PCs with loss-corrected estimates;
+//	                       &window=30s for recent-only, &sketch=false for
+//	                       the exact O(DB) path (default serves the O(K)
+//	                       sketch view with "approx"/"error_bound")
+//	GET  /v1/estimate?pc=  per-PC estimator rollup (optionally &event=;
+//	                       &sketch=false forces the exact path)
+//	GET  /v1/stats         ingest/queue/breaker/loss/WAL/witness/sketch counters
 //	GET  /v1/report?n=15   plain-text hot-instruction table
 //	GET  /v1/ledger        admission ledger (anti-entropy reads this)
 //	POST /v1/witness       witness-copy store (see witness.go)
@@ -327,10 +331,14 @@ func (s *Server) deadlineExpired(w http.ResponseWriter, r *http.Request) bool {
 	}
 }
 
-// hotPC is one row of the /v1/hotpcs response.
+// hotPC is one row of the /v1/hotpcs response. On the sketch path,
+// Samples is exact as of the view epoch and MaxErr bounds the sketch's
+// possible overcount for ordering/membership (0 = this row is exact);
+// on the windowed path Samples is itself the sketch estimate.
 type hotPC struct {
 	PC             string  `json:"pc"`
 	Samples        uint64  `json:"samples"`
+	MaxErr         uint64  `json:"max_err,omitempty"`
 	EstCount       float64 `json:"est_count"`
 	RetiredPct     float64 `json:"retired_pct"`
 	DCacheMissPct  float64 `json:"dcache_miss_pct"`
@@ -338,37 +346,121 @@ type hotPC struct {
 	MeanInProgress float64 `json:"mean_inprogress_cycles"`
 }
 
+func accRow(a *profile.PCAccum, estCount float64) hotPC {
+	row := hotPC{
+		PC:            fmt.Sprintf("%#x", a.PC),
+		Samples:       a.Samples,
+		EstCount:      estCount,
+		RetiredPct:    100 * profile.RateEstimate(a.Retired(), a.Samples),
+		DCacheMissPct: 100 * profile.RateEstimate(a.EventCount(core.EvDCacheMiss), a.Samples),
+		MispredictPct: 100 * profile.RateEstimate(a.EventCount(core.EvMispredict), a.Samples),
+	}
+	if a.InProgressCount > 0 {
+		row.MeanInProgress = float64(a.InProgressSum) / float64(a.InProgressCount)
+	}
+	return row
+}
+
+// handleHotPCs serves the top-N hot PCs three ways:
+//
+//   - default: O(n) from the aggregate's published sketch view — no
+//     lock, "approx": true, with "error_bound" (the sketch floor: the
+//     maximum true count of any PC NOT listed) and per-row "max_err"
+//     (the row estimate's maximum overcount; 0 whenever the aggregate
+//     has fewer distinct PCs than the sketch capacity, in which case
+//     the answer equals the exact one)
+//   - ?window=30s: O(K) from the time-bucketed ring — only samples
+//     merged in the last 30s count; always approximate
+//   - ?sketch=false: the exact deep-copy path under the read lock —
+//     O(DB), contends with the merge loop; "approx": false
 func (s *Server) handleHotPCs(w http.ResponseWriter, r *http.Request) {
-	n := intParam(r, "n", 10)
-	if n < 1 || n > 1000 {
-		s.writeErr(w, http.StatusBadRequest, "param", "n must be in [1,1000]")
+	n, err := intQueryParam(r, "n", 10, 1, 1000)
+	if err != nil {
+		s.writeParamErr(w, err)
+		return
+	}
+	sketch, err := boolQueryParam(r, "sketch", true)
+	if err != nil {
+		s.writeParamErr(w, err)
+		return
+	}
+	window, err := durationQueryParam(r, "window")
+	if err != nil {
+		s.writeParamErr(w, err)
+		return
+	}
+	if window > 0 && !sketch {
+		s.writeParamErr(w, &paramError{"window", "windowed answers are sketch-only; drop sketch=false"})
 		return
 	}
 	if s.deadlineExpired(w, r) {
 		return
 	}
 	agg := s.svc.Aggregate()
-	accs := agg.HotPCs(n)
+
+	if window > 0 {
+		res := agg.WindowHotPCs(window, n)
+		v := agg.View()
+		rows := make([]hotPC, 0, len(res.Rows))
+		for _, e := range res.Rows {
+			rows = append(rows, hotPC{
+				PC:       fmt.Sprintf("%#x", e.PC),
+				Samples:  e.Count,
+				MaxErr:   e.Err,
+				EstCount: float64(e.Count) * v.S * v.LossCorr,
+			})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"samples":        v.Counters.Samples,
+			"lost":           v.Counters.Lost,
+			"loss_rate":      v.Counters.LossRate,
+			"pcs":            rows,
+			"approx":         true,
+			"error_bound":    res.Floor,
+			"window_ms":      res.Window.Milliseconds(),
+			"window_clamped": res.Clamped,
+			"window_buckets": res.Buckets,
+			"window_samples": res.Samples,
+		})
+		return
+	}
+
+	if sketch {
+		v := agg.View()
+		topk := v.TopK
+		if len(topk) > n {
+			topk = topk[:n]
+		}
+		rows := make([]hotPC, 0, len(topk))
+		for i := range topk {
+			hv := &topk[i]
+			row := accRow(&hv.Acc, float64(hv.Acc.Samples)*v.S*v.LossCorr)
+			row.MaxErr = hv.MaxErr
+			rows = append(rows, row)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"samples":     v.Counters.Samples,
+			"lost":        v.Counters.Lost,
+			"loss_rate":   v.Counters.LossRate,
+			"pcs":         rows,
+			"approx":      true,
+			"error_bound": v.Floor,
+			"epoch":       v.Epoch,
+		})
+		return
+	}
+
+	accs := agg.HotPCsExact(n)
 	rows := make([]hotPC, 0, len(accs))
-	for _, a := range accs {
-		row := hotPC{
-			PC:            fmt.Sprintf("%#x", a.PC),
-			Samples:       a.Samples,
-			EstCount:      agg.EstimatedCount(a.PC),
-			RetiredPct:    100 * profile.RateEstimate(a.Retired(), a.Samples),
-			DCacheMissPct: 100 * profile.RateEstimate(a.EventCount(core.EvDCacheMiss), a.Samples),
-			MispredictPct: 100 * profile.RateEstimate(a.EventCount(core.EvMispredict), a.Samples),
-		}
-		if a.InProgressCount > 0 {
-			row.MeanInProgress = float64(a.InProgressSum) / float64(a.InProgressCount)
-		}
-		rows = append(rows, row)
+	for i := range accs {
+		rows = append(rows, accRow(&accs[i], agg.EstimatedCount(accs[i].PC)))
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"samples":   agg.Samples(),
 		"lost":      agg.Lost(),
 		"loss_rate": agg.LossRate(),
 		"pcs":       rows,
+		"approx":    false,
 	})
 }
 
@@ -382,22 +474,65 @@ var eventByName = func() map[string]core.Event {
 	return m
 }()
 
+// handleEstimate serves the per-PC rollup. By default it answers from
+// the published sketch view when the PC is among the tracked top-K — a
+// lock-free read, marked "approx": true with the row's "max_err" — and
+// falls back to the exact read-locked path for colder PCs (or always,
+// with ?sketch=false), marked "approx": false.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	pcStr := r.URL.Query().Get("pc")
 	if pcStr == "" {
-		s.writeErr(w, http.StatusBadRequest, "param", "pc parameter required (hex like 0x4a0 or decimal)")
+		s.writeParamErr(w, &paramError{"pc", "required (hex like 0x4a0 or decimal)"})
 		return
 	}
 	pc, err := strconv.ParseUint(pcStr, 0, 64)
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, "param", fmt.Sprintf("bad pc %q: %v", pcStr, err))
+		s.writeParamErr(w, &paramError{"pc", fmt.Sprintf("%q is not an address (hex like 0x4a0 or decimal)", pcStr)})
 		return
+	}
+	sketch, err := boolQueryParam(r, "sketch", true)
+	if err != nil {
+		s.writeParamErr(w, err)
+		return
+	}
+	evName := r.URL.Query().Get("event")
+	var queryEv core.Event
+	if evName != "" {
+		ev, known := eventByName[evName]
+		if !known {
+			s.writeParamErr(w, &paramError{"event", fmt.Sprintf("unknown event %q", evName)})
+			return
+		}
+		queryEv = ev
 	}
 	if s.deadlineExpired(w, r) {
 		return
 	}
 	agg := s.svc.Aggregate()
-	acc, ok := agg.Get(pc)
+	var (
+		acc      profile.PCAccum
+		ok       bool
+		approx   bool
+		maxErr   uint64
+		estimed  float64
+		estEvent func(ev core.Event) float64
+	)
+	if sketch {
+		v := agg.View()
+		if hv := v.Get(pc); hv != nil {
+			acc, ok, approx, maxErr = hv.Acc, true, true, hv.MaxErr
+			estimed = float64(acc.Samples) * v.S * v.LossCorr
+			a := hv.Acc // capture the epoch copy, not the loop state
+			estEvent = func(ev core.Event) float64 {
+				return float64(a.EventCount(ev)) * v.S * v.LossCorr
+			}
+		}
+	}
+	if !ok {
+		acc, ok = agg.Get(pc)
+		estimed = agg.EstimatedCount(pc)
+		estEvent = func(ev core.Event) float64 { return agg.EstimatedEventCount(pc, ev) }
+	}
 	if !ok {
 		s.writeErr(w, http.StatusNotFound, "unknown-pc", fmt.Sprintf("pc %#x has no samples", pc))
 		return
@@ -405,22 +540,21 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{
 		"pc":        fmt.Sprintf("%#x", pc),
 		"samples":   acc.Samples,
-		"est_count": agg.EstimatedCount(pc),
+		"est_count": estimed,
+		"approx":    approx,
 	}
-	if evName := r.URL.Query().Get("event"); evName != "" {
-		ev, ok := eventByName[evName]
-		if !ok {
-			s.writeErr(w, http.StatusBadRequest, "param", fmt.Sprintf("unknown event %q", evName))
-			return
-		}
+	if approx {
+		resp["max_err"] = maxErr
+	}
+	if evName != "" {
 		resp["event"] = evName
-		resp["est_event_count"] = agg.EstimatedEventCount(pc, ev)
-		resp["event_rate"] = profile.RateEstimate(acc.EventCount(ev), acc.Samples)
+		resp["est_event_count"] = estEvent(queryEv)
+		resp["event_rate"] = profile.RateEstimate(acc.EventCount(queryEv), acc.Samples)
 	} else {
 		events := make(map[string]float64)
 		for name, ev := range eventByName {
 			if c := acc.EventCount(ev); c > 0 {
-				events[name] = agg.EstimatedEventCount(pc, ev)
+				events[name] = estEvent(ev)
 			}
 		}
 		resp["est_event_counts"] = events
@@ -436,9 +570,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	n := intParam(r, "n", 15)
-	if n < 1 || n > 1000 {
-		s.writeErr(w, http.StatusBadRequest, "param", "n must be in [1,1000]")
+	n, err := intQueryParam(r, "n", 15, 1, 1000)
+	if err != nil {
+		s.writeParamErr(w, err)
 		return
 	}
 	if s.deadlineExpired(w, r) {
@@ -512,18 +646,6 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "queue_depth": s.svc.QueueDepth()})
 	}
-}
-
-func intParam(r *http.Request, name string, def int) int {
-	v := r.URL.Query().Get(name)
-	if v == "" {
-		return def
-	}
-	n, err := strconv.Atoi(v)
-	if err != nil {
-		return -1
-	}
-	return n
 }
 
 // logf writes one whole degradation line under the server's log mutex,
