@@ -23,6 +23,14 @@
 //     sweep (-anti-entropy-every) reconciles witness ledgers against
 //     live instances, so an instance that loses its disk entirely can
 //     be rebuilt from its peers' copies.
+//   - Membership is elastic: POST /v1/membership/add and /remove grow
+//     or shrink the ring live (no restarts). Every change bumps the
+//     ring epoch; moved shard ranges are migrated through the handoff
+//     envelope and their admission-ledger entries adopted BEFORE the
+//     ring commits, so a submit raced against a migration is never
+//     lost and never double-merged — at worst it gets a typed 409
+//     wrong-owner carrying the current epoch, and the retry dedupes to
+//     202+duplicate. Migration progress is exposed in /v1/stats.
 //
 // Example (3-instance tier):
 //

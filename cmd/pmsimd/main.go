@@ -23,6 +23,12 @@
 //     and a restart after kill -9 replays checkpoint+WAL so nothing
 //     acknowledged is lost and post-crash retries dedupe to
 //     202+duplicate.
+//   - The instance is a migration endpoint for the router's elastic
+//     membership: /v1/handoff/export seals and snapshots its books,
+//     /v1/handoff (accept) merges a peer's envelope exactly once, and
+//     /v1/ledger/adopt installs dedupe obligations for shard ids whose ring
+//     ownership moved here — all idempotent, all WAL-durable, so a
+//     membership change interrupted at any point is safe to retry.
 //
 // Example:
 //

@@ -59,20 +59,53 @@ func newHealth(threshold int, instances []string) *health {
 	return h
 }
 
+// ensure registers an instance id (Healthy) if it is not yet tracked —
+// membership adds call this so the passive report guards below accept
+// the new instance's signals.
+func (h *health) ensure(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.state[id]; !ok {
+		h.state[id] = StateHealthy
+		h.fails[id] = 0
+	}
+}
+
+// forget drops an instance's health history entirely. Called on
+// membership removal so the probe loop and passive reports stop
+// tracking it — without this, every removed instance would leak a
+// state/fails entry forever and in-flight request legs finishing after
+// the removal would resurrect it as a ghost.
+func (h *health) forget(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.state, id)
+	delete(h.fails, id)
+}
+
 // reportSuccess clears failure history and revives a Down/Draining
-// instance: any successful exchange proves it is back.
+// instance: any successful exchange proves it is back. Signals for
+// untracked ids (an instance removed while its request was in flight)
+// are dropped rather than resurrecting the entry.
 func (h *health) reportSuccess(id string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if _, ok := h.state[id]; !ok {
+		return
+	}
 	h.fails[id] = 0
 	h.state[id] = StateHealthy
 }
 
 // reportFailure counts one transport failure; crossing the threshold
-// marks the instance Down. Returns the resulting state.
+// marks the instance Down. Returns the resulting state (StateDown for
+// untracked ids: a removed instance takes no traffic).
 func (h *health) reportFailure(id string) InstanceState {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if _, ok := h.state[id]; !ok {
+		return StateDown
+	}
 	h.fails[id]++
 	if h.fails[id] >= h.threshold {
 		h.state[id] = StateDown
@@ -85,8 +118,23 @@ func (h *health) reportFailure(id string) InstanceState {
 func (h *health) reportDraining(id string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if _, ok := h.state[id]; !ok {
+		return
+	}
 	h.state[id] = StateDraining
 	h.fails[id] = 0
+}
+
+// tracked returns the ids currently under health tracking (the
+// goroutine-leak test audits this against membership).
+func (h *health) tracked() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.state))
+	for id := range h.state {
+		out = append(out, id)
+	}
+	return out
 }
 
 // get returns the instance's current state (Healthy for unknown ids).

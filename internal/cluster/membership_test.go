@@ -1,0 +1,573 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"profileme/internal/ingest"
+)
+
+// membershipEpoch reads the ring epoch off the membership endpoint.
+func membershipEpoch(t *testing.T, frontURL string) uint64 {
+	t.Helper()
+	status, m := getJSON(t, frontURL+"/v1/membership")
+	if status != http.StatusOK {
+		t.Fatalf("membership: %d", status)
+	}
+	return uint64(m["epoch"].(float64))
+}
+
+// fleetCaptured reads Σ samples+lost off the router's stats rollup.
+func fleetCaptured(t *testing.T, frontURL string) uint64 {
+	t.Helper()
+	status, m := getJSON(t, frontURL+"/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d", status)
+	}
+	fleet := m["fleet"].(map[string]any)
+	return uint64(fleet["samples"].(float64) + fleet["lost"].(float64))
+}
+
+// postJSON posts a JSON body and decodes the JSON answer.
+func postJSON(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("POST %s: undecodable response: %v", url, err)
+	}
+	return resp.StatusCode, m
+}
+
+// TestMembershipAddLive grows a live 3-instance tier to 4 while its data
+// stays queryable, then proves the adoption sweep (not just the router's
+// in-memory pins) carries the dedupe obligation: a FRESH router — no
+// pins — over the grown tier must still answer 202+duplicate for every
+// previously acknowledged shard.
+func TestMembershipAddLive(t *testing.T) {
+	instances, rt := newTier(t, 64, "c0", "c1", "c2")
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	const nShards = 24
+	var wantCaptured uint64
+	for i := 0; i < nShards; i++ {
+		shard := fmt.Sprintf("grow/s%03d", i)
+		db := synthShard(uint64(i)+1, 40+i)
+		wantCaptured += db.Samples() + db.Lost()
+		if got := submitVia(t, front.URL, shard, db); got.status != http.StatusAccepted || got.Duplicate {
+			t.Fatalf("shard %s: status %d duplicate %v", shard, got.status, got.Duplicate)
+		}
+	}
+	waitForMerge(t, instances, nShards)
+	epoch0 := membershipEpoch(t, front.URL)
+
+	// Scale out through the HTTP surface — no instance restarts.
+	newcomer := newTierInstance(t, "c3", 64)
+	status, rep := postJSON(t, front.URL+"/v1/membership/add",
+		fmt.Sprintf(`{"id":"c3","url":%q}`, newcomer.ts.URL))
+	if status != http.StatusOK {
+		t.Fatalf("membership add: %d %v", status, rep)
+	}
+	if got := uint64(rep["epoch"].(float64)); got != epoch0+1 {
+		t.Fatalf("post-add epoch %d, want %d", got, epoch0+1)
+	}
+	if moved := int(rep["shards_moved"].(float64)); moved == 0 {
+		t.Fatal("no shard ownership moved on a 3->4 scale-out of 24 shards")
+	}
+	if adopted := int(rep["adopted"].(float64)); adopted == 0 {
+		t.Fatal("scale-out adopted nothing at the newcomer")
+	}
+	if membershipEpoch(t, front.URL) != epoch0+1 {
+		t.Fatal("membership endpoint does not reflect the committed epoch")
+	}
+
+	// Retries through the SAME router dedupe (pins + adoption).
+	for i := 0; i < nShards; i++ {
+		shard := fmt.Sprintf("grow/s%03d", i)
+		got := submitVia(t, front.URL, shard, synthShard(uint64(i)+1, 40+i))
+		if got.status != http.StatusAccepted || !got.Duplicate {
+			t.Fatalf("shard %s retry after add: status %d duplicate %v, want 202 duplicate",
+				shard, got.status, got.Duplicate)
+		}
+	}
+
+	// The adoption proof: a restarted router loses every pin. Retries now
+	// follow pure ring order — moved shards land on the newcomer, whose
+	// adopted ledger must dedupe them.
+	cfg := RouterConfig{FailureThreshold: 2, HedgeDelay: -1}
+	for _, in := range instances {
+		cfg.Instances = append(cfg.Instances, Instance{ID: in.id, BaseURL: in.ts.URL})
+	}
+	cfg.Instances = append(cfg.Instances, Instance{ID: "c3", BaseURL: newcomer.ts.URL})
+	rt2, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front2 := httptest.NewServer(rt2.Handler())
+	defer front2.Close()
+	landedOnNewcomer := 0
+	for i := 0; i < nShards; i++ {
+		shard := fmt.Sprintf("grow/s%03d", i)
+		got := submitVia(t, front2.URL, shard, synthShard(uint64(i)+1, 40+i))
+		if got.status != http.StatusAccepted || !got.Duplicate {
+			t.Fatalf("shard %s retry via pinless router: status %d duplicate %v — double-merge",
+				shard, got.status, got.Duplicate)
+		}
+		if got.Instance == "c3" {
+			landedOnNewcomer++
+		}
+	}
+	if landedOnNewcomer == 0 {
+		t.Fatal("pinless retries never routed to the newcomer; the adoption path went untested")
+	}
+
+	// Adoption moves obligations, not samples: conservation is unchanged.
+	if got := fleetCaptured(t, front.URL); got != wantCaptured {
+		t.Fatalf("fleet captured %d after scale-out, want %d", got, wantCaptured)
+	}
+}
+
+// TestMembershipRemoveLive shrinks a live tier: the donor's whole
+// aggregate and ledger migrate before the ring forgets it, retries of
+// its shards dedupe at the receiver, and the conservation sum survives
+// the move exactly.
+func TestMembershipRemoveLive(t *testing.T) {
+	instances, rt := newTier(t, 64, "c0", "c1", "c2")
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	const nShards = 18
+	var wantCaptured uint64
+	donorShards := map[string]bool{}
+	for i := 0; i < nShards; i++ {
+		shard := fmt.Sprintf("shrink/s%03d", i)
+		db := synthShard(uint64(i)+7, 30+i)
+		wantCaptured += db.Samples() + db.Lost()
+		got := submitVia(t, front.URL, shard, db)
+		if got.status != http.StatusAccepted {
+			t.Fatalf("shard %s: status %d", shard, got.status)
+		}
+		if got.Instance == "c1" {
+			donorShards[shard] = true
+		}
+	}
+	waitForMerge(t, instances, nShards)
+	if len(donorShards) == 0 {
+		t.Fatal("donor c1 holds no shards; the migration would be vacuous")
+	}
+	epoch0 := membershipEpoch(t, front.URL)
+
+	status, rep := postJSON(t, front.URL+"/v1/membership/remove", `{"id":"c1"}`)
+	if status != http.StatusOK {
+		t.Fatalf("membership remove: %d %v", status, rep)
+	}
+	if got := uint64(rep["epoch"].(float64)); got != epoch0+1 {
+		t.Fatalf("post-remove epoch %d, want %d", got, epoch0+1)
+	}
+	receiver, _ := rep["receiver"].(string)
+	if receiver == "" || receiver == "c1" {
+		t.Fatalf("remove report names receiver %q", receiver)
+	}
+	if got := uint64(rep["captured_moved"].(float64)); got == 0 {
+		t.Fatal("remove migrated zero captured samples from a donor that held shards")
+	}
+	var donor *tierInstance
+	for _, in := range instances {
+		if in.id == "c1" {
+			donor = in
+		}
+	}
+	if !donor.svc.HandedOff() {
+		t.Fatal("donor not marked handed off after confirmed removal")
+	}
+
+	// Membership no longer lists the donor.
+	_, mem := getJSON(t, front.URL+"/v1/membership")
+	members := mem["instances"].(map[string]any)
+	if _, ok := members["c1"]; ok || len(members) != 2 {
+		t.Fatalf("membership after remove: %v", members)
+	}
+
+	// Every shard — donor-held or not — still dedupes on retry, and the
+	// donor's shards answer from a live instance.
+	for i := 0; i < nShards; i++ {
+		shard := fmt.Sprintf("shrink/s%03d", i)
+		got := submitVia(t, front.URL, shard, synthShard(uint64(i)+7, 30+i))
+		if got.status != http.StatusAccepted || !got.Duplicate {
+			t.Fatalf("shard %s retry after remove: status %d duplicate %v — the donor's ledger was lost",
+				shard, got.status, got.Duplicate)
+		}
+		if got.Instance == "c1" {
+			t.Fatalf("shard %s answered by the removed instance", shard)
+		}
+	}
+
+	// The donor's books moved wholesale: the fleet rollup (which no
+	// longer reaches c1) must still balance EXACTLY.
+	if got := fleetCaptured(t, front.URL); got != wantCaptured {
+		t.Fatalf("fleet captured %d after scale-in, want %d (migration lost or double-counted samples)", got, wantCaptured)
+	}
+
+	// And the tier keeps accepting new work.
+	if got := submitVia(t, front.URL, "shrink/after", synthShard(99, 20)); got.status != http.StatusAccepted || got.Duplicate {
+		t.Fatalf("fresh submit after scale-in: status %d duplicate %v", got.status, got.Duplicate)
+	}
+
+	// Pinless-router proof for scale-in: handoff ledger + adoption cover
+	// dedupe without the original router's memory.
+	cfg := RouterConfig{FailureThreshold: 2, HedgeDelay: -1}
+	for _, in := range instances {
+		if in.id == "c1" {
+			continue
+		}
+		cfg.Instances = append(cfg.Instances, Instance{ID: in.id, BaseURL: in.ts.URL})
+	}
+	rt2, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front2 := httptest.NewServer(rt2.Handler())
+	defer front2.Close()
+	for i := 0; i < nShards; i++ {
+		shard := fmt.Sprintf("shrink/s%03d", i)
+		got := submitVia(t, front2.URL, shard, synthShard(uint64(i)+7, 30+i))
+		if got.status != http.StatusAccepted || !got.Duplicate {
+			t.Fatalf("shard %s retry via pinless router after remove: status %d duplicate %v",
+				shard, got.status, got.Duplicate)
+		}
+	}
+}
+
+// TestWrongOwnerEpoch: a client that cached a /v1/resolve answer sends
+// its epoch with the submit; after a membership change that epoch is
+// stale and the router answers the typed wrong-owner 409 carrying the
+// current epoch, which un-sticks the client.
+func TestWrongOwnerEpoch(t *testing.T) {
+	_, rt := newTier(t, 16, "c0", "c1")
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	if got := submitVia(t, front.URL, "epoch/s1", synthShard(1, 10)); got.status != http.StatusAccepted {
+		t.Fatalf("seed submit: %d", got.status)
+	}
+	status, res := getJSON(t, front.URL+"/v1/resolve?shard=epoch/s1")
+	if status != http.StatusOK {
+		t.Fatalf("resolve: %d", status)
+	}
+	epoch := uint64(res["epoch"].(float64))
+	if res["instance"].(string) == "" || res["url"].(string) == "" {
+		t.Fatalf("resolve answer incomplete: %v", res)
+	}
+	if pinned, _ := res["pinned"].(bool); !pinned {
+		t.Fatal("resolve of an acknowledged shard did not prefer the pinned placement")
+	}
+
+	submitWithEpoch := func(epochHdr string) (int, map[string]any) {
+		body, err := ingest.EncodeSubmit("epoch/s1", synthShard(1, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, _ := http.NewRequest(http.MethodPost, front.URL+"/v1/submit", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Ring-Epoch", epochHdr)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, m
+	}
+	if st, m := submitWithEpoch(strconv.FormatUint(epoch, 10)); st != http.StatusAccepted {
+		t.Fatalf("submit with current epoch: %d %v", st, m)
+	}
+
+	// Membership change bumps the epoch; the cached one now draws a 409.
+	newcomer := newTierInstance(t, "c2", 16)
+	if st, rep := postJSON(t, front.URL+"/v1/membership/add",
+		fmt.Sprintf(`{"id":"c2","url":%q}`, newcomer.ts.URL)); st != http.StatusOK {
+		t.Fatalf("add: %d %v", st, rep)
+	}
+	st, m := submitWithEpoch(strconv.FormatUint(epoch, 10))
+	if st != http.StatusConflict {
+		t.Fatalf("stale-epoch submit: status %d, want 409", st)
+	}
+	if m["kind"] != "wrong-owner" {
+		t.Fatalf("409 kind %v, want wrong-owner", m["kind"])
+	}
+	cur := uint64(m["epoch"].(float64))
+	if cur != epoch+1 {
+		t.Fatalf("409 carries epoch %d, want current %d", cur, epoch+1)
+	}
+	if rt.Stats().WrongOwnerConflicts == 0 {
+		t.Fatal("wrong-owner conflict not counted")
+	}
+	// Re-resolving with the carried epoch un-sticks the client.
+	if st, _ := submitWithEpoch(strconv.FormatUint(cur, 10)); st != http.StatusAccepted {
+		t.Fatalf("submit with refreshed epoch: %d", st)
+	}
+}
+
+// TestMembershipGuards: removing a non-member or the last instance is
+// refused, and re-adding a known id is a URL refresh, not a migration.
+func TestMembershipGuards(t *testing.T) {
+	instances, rt := newTier(t, 16, "c0")
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	if st, _ := postJSON(t, front.URL+"/v1/membership/remove", `{"id":"ghost"}`); st != http.StatusServiceUnavailable {
+		t.Fatalf("remove of non-member: %d, want 503", st)
+	}
+	if st, _ := postJSON(t, front.URL+"/v1/membership/remove", `{"id":"c0"}`); st != http.StatusServiceUnavailable {
+		t.Fatalf("remove of last instance: %d, want 503", st)
+	}
+	epoch0 := membershipEpoch(t, front.URL)
+	if st, _ := postJSON(t, front.URL+"/v1/membership/add",
+		fmt.Sprintf(`{"id":"c0","url":%q}`, instances[0].ts.URL)); st != http.StatusOK {
+		t.Fatalf("re-add of known id: %d, want 200", st)
+	}
+	if got := membershipEpoch(t, front.URL); got != epoch0 {
+		t.Fatalf("URL refresh bumped the epoch %d -> %d", epoch0, got)
+	}
+}
+
+// TestGatherClientDisconnect (S1): a client that hangs up mid-query must
+// cancel the in-flight fan-out legs AND must not get the slow instance
+// marked Down — one impatient client must never degrade the tier.
+func TestGatherClientDisconnect(t *testing.T) {
+	real := newTierInstance(t, "fast", 16)
+	canceled := make(chan struct{}, 8)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			canceled <- struct{}{}
+		case <-time.After(10 * time.Second):
+		}
+	}))
+	defer slow.Close()
+
+	rt, err := NewRouter(RouterConfig{
+		Instances: []Instance{
+			{ID: "fast", BaseURL: real.ts.URL},
+			{ID: "slow", BaseURL: slow.URL},
+		},
+		FailureThreshold: 1, // one charged failure would mark it Down
+		HedgeDelay:       -1,
+		QueryDeadline:    8 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	for i := 0; i < 2; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, front.URL+"/v1/stats", nil)
+		_, rerr := http.DefaultClient.Do(req)
+		cancel()
+		if rerr == nil {
+			t.Fatal("stats answered before the slow leg; the disconnect never raced the gather")
+		}
+		// The per-leg context derives from the request context: the slow
+		// instance must observe the cancellation promptly, not sit out the
+		// full query deadline.
+		select {
+		case <-canceled:
+		case <-time.After(3 * time.Second):
+			t.Fatal("slow leg not canceled by client disconnect")
+		}
+	}
+	if st := rt.health.get("slow"); st == StateDown {
+		t.Fatal("client disconnect marked the slow instance Down")
+	}
+	// A real straggler (no client disconnect) still gets charged: the
+	// health machinery itself is intact.
+	rt.health.reportFailure("slow")
+	if st := rt.health.get("slow"); st != StateDown {
+		t.Fatalf("control: direct failure left state %v, want Down (threshold 1)", st)
+	}
+}
+
+// TestMembershipChurnNoLeak (S2): repeated add/remove cycles must leave
+// no goroutines behind and no orphaned health entries — the probe loop
+// must track exactly the current membership.
+func TestMembershipChurnNoLeak(t *testing.T) {
+	instances, rt := newTier(t, 32, "c0", "c1")
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	for i := range instances {
+		if got := submitVia(t, front.URL, fmt.Sprintf("churn/base%d", i), synthShard(uint64(i)+1, 10)); got.status != http.StatusAccepted {
+			t.Fatalf("seed submit: %d", got.status)
+		}
+	}
+
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+	const cycles = 4
+	for i := 0; i < cycles; i++ {
+		id := fmt.Sprintf("churn-%d", i)
+		in := newTierInstance(t, id, 32)
+		if st, rep := postJSON(t, front.URL+"/v1/membership/add",
+			fmt.Sprintf(`{"id":%q,"url":%q}`, id, in.ts.URL)); st != http.StatusOK {
+			t.Fatalf("cycle %d add: %d %v", i, st, rep)
+		}
+		if st, rep := postJSON(t, front.URL+"/v1/membership/remove",
+			fmt.Sprintf(`{"id":%q}`, id)); st != http.StatusOK {
+			t.Fatalf("cycle %d remove: %d %v", i, st, rep)
+		}
+		in.ts.Close() // the process is retired; its server goes away now, not at test end
+	}
+
+	// Health tracks exactly the surviving membership; a probe sweep does
+	// not resurrect any removed instance.
+	rt.Probe(context.Background())
+	tracked := rt.health.tracked()
+	want := map[string]bool{"c0": true, "c1": true}
+	if len(tracked) != len(want) {
+		t.Fatalf("health tracks %v, want exactly c0 and c1", tracked)
+	}
+	for _, id := range tracked {
+		if !want[id] {
+			t.Fatalf("health still tracks removed instance %q", id)
+		}
+	}
+
+	// Goroutine bound: everything the cycles spawned must have exited.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines %d > baseline %d+8 after churn\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The tier still balances: base shards retried dedupe.
+	for i := range instances {
+		got := submitVia(t, front.URL, fmt.Sprintf("churn/base%d", i), synthShard(uint64(i)+1, 10))
+		if got.status != http.StatusAccepted || !got.Duplicate {
+			t.Fatalf("base shard retry after churn: %d duplicate %v", got.status, got.Duplicate)
+		}
+	}
+}
+
+// TestMembershipSubmitRaceProperty is the seeded-schedule property test:
+// submissions race live scale-out AND scale-in, and whatever the
+// interleaving, no acknowledged shard is ever lost (the fleet's books
+// sum to exactly the distinct captured total) and no retry ever
+// double-merges (every retry answers duplicate).
+func TestMembershipSubmitRaceProperty(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 23} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			_, rt := newTier(t, 256, "c0", "c1", "c2")
+			front := httptest.NewServer(rt.Handler())
+			defer front.Close()
+
+			const nShards = 32
+			shardName := func(i int) string { return fmt.Sprintf("race/%d/s%03d", seed, i) }
+			shardDB := func(i int) uint64 { return seed*1000 + uint64(i) }
+			var wantCaptured uint64
+			for i := 0; i < nShards; i++ {
+				db := synthShard(shardDB(i), 20+i)
+				wantCaptured += db.Samples() + db.Lost()
+			}
+
+			var wg sync.WaitGroup
+			errs := make(chan error, 4)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < nShards; i++ {
+					shard := shardName(i)
+					// Submit then immediately retry: the retry must dedupe
+					// whatever migration is mid-flight.
+					first := submitVia(t, front.URL, shard, synthShard(shardDB(i), 20+i))
+					if first.status != http.StatusAccepted || first.Duplicate {
+						errs <- fmt.Errorf("shard %s: first submit status %d duplicate %v",
+							shard, first.status, first.Duplicate)
+						return
+					}
+					retry := submitVia(t, front.URL, shard, synthShard(shardDB(i), 20+i))
+					if retry.status != http.StatusAccepted || !retry.Duplicate {
+						errs <- fmt.Errorf("shard %s: retry status %d duplicate %v — double-merge window",
+							shard, retry.status, retry.Duplicate)
+						return
+					}
+				}
+			}()
+
+			// Membership schedule, interleaved with the writer by seeded
+			// jitter: grow by one, then shrink by one.
+			jitter := time.Duration(seed%5) * 7 * time.Millisecond
+			time.Sleep(jitter)
+			grownID := fmt.Sprintf("cx-%d", seed)
+			grown := newTierInstance(t, grownID, 256)
+			if st, rep := postJSON(t, front.URL+"/v1/membership/add",
+				fmt.Sprintf(`{"id":%q,"url":%q}`, grownID, grown.ts.URL)); st != http.StatusOK {
+				t.Fatalf("add mid-flood: %d %v", st, rep)
+			}
+			time.Sleep(jitter)
+			victim := []string{"c0", "c1", "c2"}[seed%3]
+			if st, rep := postJSON(t, front.URL+"/v1/membership/remove",
+				fmt.Sprintf(`{"id":%q}`, victim)); st != http.StatusOK {
+				t.Fatalf("remove mid-flood: %d %v", st, rep)
+			}
+
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			_ = rt
+
+			// Conservation must converge EXACTLY once queues flush: the
+			// books moved with the migration, nothing was lost or doubled.
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				got := fleetCaptured(t, front.URL)
+				if got == wantCaptured {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("fleet captured %d, want exactly %d (seed %d)", got, wantCaptured, seed)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+
+			// And every shard still dedupes after the dust settles.
+			for i := 0; i < nShards; i++ {
+				got := submitVia(t, front.URL, shardName(i), synthShard(shardDB(i), 20+i))
+				if got.status != http.StatusAccepted || !got.Duplicate {
+					t.Fatalf("shard %s post-churn retry: %d duplicate %v (seed %d)",
+						shardName(i), got.status, got.Duplicate, seed)
+				}
+			}
+		})
+	}
+}

@@ -76,6 +76,13 @@ type Ring struct {
 	seed      uint64
 	points    []ringPoint // sorted by (hash, instance)
 	instances map[string]bool
+	// epoch versions the membership: it bumps on every effective Add or
+	// Remove, never on no-ops, so two rings with the same epoch that
+	// started from the same base hold the same instance set. Clients cache
+	// (shard -> instance) resolutions tagged with the epoch; the router's
+	// wrong-owner 409 carries the current epoch so a stale client knows to
+	// re-resolve rather than spin.
+	epoch uint64
 }
 
 // DefaultVNodes is the default virtual-node count per instance: enough
@@ -92,12 +99,13 @@ func NewRing(vnodes int, seed uint64) *Ring {
 }
 
 // Add places instance's virtual nodes on the ring. Adding an instance
-// twice is a no-op.
+// twice is a no-op (the epoch does not move).
 func (r *Ring) Add(instance string) {
 	if r.instances[instance] {
 		return
 	}
 	r.instances[instance] = true
+	r.epoch++
 	for v := 0; v < r.vnodes; v++ {
 		r.points = append(r.points, ringPoint{
 			hash:     fnv1a64(r.seed, fmt.Sprintf("%s#%d", instance, v)),
@@ -119,6 +127,7 @@ func (r *Ring) Remove(instance string) {
 		return
 	}
 	delete(r.instances, instance)
+	r.epoch++
 	kept := r.points[:0]
 	for _, p := range r.points {
 		if p.instance != instance {
@@ -126,6 +135,45 @@ func (r *Ring) Remove(instance string) {
 		}
 	}
 	r.points = kept
+}
+
+// Epoch returns the membership version: the count of effective Add and
+// Remove operations applied to this ring (clones inherit it).
+func (r *Ring) Epoch() uint64 { return r.epoch }
+
+// Clone returns an independent copy: membership planning computes the
+// post-change layout on a clone, derives the moved key ranges against
+// the live ring, migrates, and only then commits the change.
+func (r *Ring) Clone() *Ring {
+	c := &Ring{
+		vnodes:    r.vnodes,
+		seed:      r.seed,
+		points:    append([]ringPoint(nil), r.points...),
+		instances: make(map[string]bool, len(r.instances)),
+		epoch:     r.epoch,
+	}
+	for id := range r.instances {
+		c.instances[id] = true
+	}
+	return c
+}
+
+// MovedKeys reports, for each key whose owner differs between old and
+// new, the (oldOwner -> newOwner) transfer as key -> newOwner. This is
+// the migration work list for a membership change; the consistent-hash
+// property (only keys adjacent to the changed instance's virtual nodes
+// move, ≤ 1/N + ε of the key space per the rebalance property test)
+// keeps it small.
+func MovedKeys(oldRing, newRing *Ring, keys []string) map[string]string {
+	moved := make(map[string]string)
+	for _, k := range keys {
+		was, okOld := oldRing.Owner(k)
+		now, okNew := newRing.Owner(k)
+		if okNew && (!okOld || was != now) {
+			moved[k] = now
+		}
+	}
+	return moved
 }
 
 // Instances returns the member instances in sorted order.
@@ -225,4 +273,35 @@ func (l *lockedRing) size() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.r.Size()
+}
+
+func (l *lockedRing) epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Epoch()
+}
+
+func (l *lockedRing) owner(key string) (string, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Owner(key)
+}
+
+func (l *lockedRing) instances() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Instances()
+}
+
+func (l *lockedRing) has(id string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.instances[id]
+}
+
+// clone snapshots the ring for membership planning.
+func (l *lockedRing) clone() *Ring {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Clone()
 }

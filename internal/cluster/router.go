@@ -129,11 +129,19 @@ type Router struct {
 	placedMu sync.Mutex
 	placed   map[string]string
 
+	// memMu serializes membership operations (AddInstance /
+	// RemoveInstance) end to end; migration is their progress state,
+	// surfaced under /v1/stats and /v1/membership.
+	memMu     sync.Mutex
+	migration migration
+
 	logMu sync.Mutex
 
 	witnessWG sync.WaitGroup // in-flight async witness forwards
 
 	submits          atomic.Uint64
+	submitRetries    atomic.Uint64
+	wrongOwner       atomic.Uint64
 	failovers        atomic.Uint64
 	hedges           atomic.Uint64
 	hedgeWins        atomic.Uint64
@@ -179,6 +187,7 @@ func (rt *Router) SetInstance(id, baseURL string) {
 	rt.ring.mu.Lock()
 	rt.ring.r.Add(id)
 	rt.ring.mu.Unlock()
+	rt.health.ensure(id)
 	rt.health.reportSuccess(id)
 }
 
@@ -206,6 +215,10 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/hotpcs", rt.handleHotPCs)
 	mux.HandleFunc("/v1/estimate", rt.handleEstimate)
 	mux.HandleFunc("/v1/stats", rt.handleStats)
+	mux.HandleFunc("/v1/membership", rt.handleMembership)
+	mux.HandleFunc("/v1/membership/add", rt.handleMembershipAdd)
+	mux.HandleFunc("/v1/membership/remove", rt.handleMembershipRemove)
+	mux.HandleFunc("/v1/resolve", rt.handleResolve)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
@@ -289,6 +302,23 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		rt.writeErr(w, http.StatusBadRequest, "malformed", err.Error(), nil)
 		return
 	}
+	// Clients that cache /v1/resolve answers send the epoch they resolved
+	// under; a membership change since then means their cached owner may
+	// be wrong — answer a typed 409 carrying the CURRENT epoch so they
+	// re-resolve instead of submitting into a stale placement. Requests
+	// without the header (the normal proxy path) are placed fresh here
+	// and never see this.
+	if hdr := r.Header.Get("X-Ring-Epoch"); hdr != "" {
+		want, perr := strconv.ParseUint(hdr, 10, 64)
+		cur := rt.ring.epoch()
+		if perr != nil || want != cur {
+			rt.wrongOwner.Add(1)
+			rt.writeErr(w, http.StatusConflict, "wrong-owner",
+				fmt.Sprintf("ring epoch %q is stale (current %d): re-resolve and retry", hdr, cur),
+				map[string]any{"epoch": cur})
+			return
+		}
+	}
 
 	candidates := rt.submitCandidates(shard)
 	var refusedBy []string
@@ -307,6 +337,16 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		tried++
 		status, respBody, err := rt.forwardSubmit(r.Context(), id, body)
+		if err != nil && r.Context().Err() == nil {
+			// One same-instance retry before failing over: the instance's
+			// admission ledger dedupes a duplicate delivery for free,
+			// whereas failing over on a transient blip spreads the shard
+			// to a second instance's books (a double-merge risk only the
+			// pinning discipline then contains). Skipped when the CLIENT
+			// disconnected — that isn't the instance's failure.
+			rt.submitRetries.Add(1)
+			status, respBody, err = rt.forwardSubmit(r.Context(), id, body)
+		}
 		if err != nil {
 			rt.legsFailed.Add(1)
 			if rt.health.reportFailure(id) == StateDown {
@@ -409,6 +449,9 @@ func (rt *Router) respondAugmented(w http.ResponseWriter, status int, body []byt
 		m = map[string]any{"raw": string(body)}
 	}
 	m["instance"] = instance
+	// The epoch lets clients pair every ack with the membership view it
+	// was routed under (and seed their X-Ring-Epoch caches).
+	m["epoch"] = rt.ring.epoch()
 	if len(refusedBy) > 0 {
 		m["refused_by"] = refusedBy
 	}
@@ -465,8 +508,15 @@ func (rt *Router) gather(ctx context.Context, pathAndQuery string) (oks []leg, m
 		l := <-results
 		if l.err != nil {
 			rt.legsFailed.Add(1)
-			if rt.health.reportFailure(l.id) == StateDown {
-				rt.logf("gather %s: instance %s marked down (%v)", pathAndQuery, l.id, l.err)
+			// A leg that died because the CLIENT disconnected (the parent
+			// request context canceled, which cancels every derived per-leg
+			// context) says nothing about the instance's health — charging
+			// it a failure would let one impatient client mark the whole
+			// tier Down.
+			if ctx.Err() == nil {
+				if rt.health.reportFailure(l.id) == StateDown {
+					rt.logf("gather %s: instance %s marked down (%v)", pathAndQuery, l.id, l.err)
+				}
 			}
 			missing = append(missing, l.id)
 			continue
@@ -925,6 +975,8 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		"instances": perInstance,
 		"router":    rt.Stats(),
+		"epoch":     rt.ring.epoch(),
+		"migration": rt.migration.snapshot(),
 	}
 	rt.partialFields(resp, missing)
 	writeJSON(w, http.StatusOK, resp)
@@ -956,6 +1008,8 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // /v1/stats.
 type RouterStats struct {
 	Submits              uint64 `json:"submits"`
+	SubmitRetries        uint64 `json:"submit_retries"`
+	WrongOwnerConflicts  uint64 `json:"wrong_owner_conflicts"`
 	Failovers            uint64 `json:"failovers"`
 	Hedges               uint64 `json:"hedges"`
 	HedgeWins            uint64 `json:"hedge_wins"`
@@ -971,6 +1025,8 @@ type RouterStats struct {
 func (rt *Router) Stats() RouterStats {
 	return RouterStats{
 		Submits:              rt.submits.Load(),
+		SubmitRetries:        rt.submitRetries.Load(),
+		WrongOwnerConflicts:  rt.wrongOwner.Load(),
 		Failovers:            rt.failovers.Load(),
 		Hedges:               rt.hedges.Load(),
 		HedgeWins:            rt.hedgeWins.Load(),

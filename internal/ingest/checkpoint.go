@@ -58,6 +58,14 @@ type Checkpoint struct {
 	// AppliedHandoffs holds the WAL positions (Pos.String) of handoff
 	// records already folded in; replay skips them.
 	AppliedHandoffs []string
+	// HandoffKeys maps applied handoff envelopes' content digests to the
+	// captured total each acknowledged — the duplicate-delivery dedupe
+	// ledger. A donor retrying a handoff after a lost ack (even across
+	// this instance's restart) is answered with the original captured
+	// count instead of double-merging. Absent in old checkpoints (gob
+	// decodes it nil), which only forfeits dedupe for pre-upgrade
+	// envelopes.
+	HandoffKeys map[string]uint64
 	// Barrier is the WAL position this checkpoint covers: every record
 	// below it is either in Applied/RefusedLoss/AppliedHandoffs or was
 	// never acknowledged. Segments wholly below it are reclaimable.

@@ -2,6 +2,8 @@ package ingest
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -92,6 +94,31 @@ type Handoff struct {
 	// Shards are the shard ids the donor had admitted (queued or
 	// merged); the receiver marks them admitted so retries dedupe.
 	Shards []string
+	// Key is the envelope's content digest (set by DecodeHandoff over
+	// the wire bytes, and carried through WAL records). A redelivery of
+	// the SAME serialized envelope — a donor or router retrying after a
+	// lost 202 — carries the same key, so AcceptHandoff dedupes it to a
+	// duplicate ack instead of double-merging the donor's samples. A
+	// donor that re-ENCODES (crash and re-drain) gets a fresh key; only
+	// byte-identical retries dedupe, which is exactly the retry contract
+	// (the sender must reuse the encoded body, as the export cache and
+	// DrainHandoff both do).
+	Key string
+}
+
+// HandoffKey digests a handoff envelope's content. Deterministic over
+// the serialized fields, not the JSON framing, so the key survives a
+// WAL round trip.
+func HandoffKey(from string, profileBytes []byte, shards []string) string {
+	h := sha256.New()
+	io.WriteString(h, from)
+	h.Write([]byte{0})
+	h.Write(profileBytes)
+	for _, sh := range shards {
+		h.Write([]byte{0})
+		io.WriteString(h, sh)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // EncodeHandoff serializes a donor aggregate for shipment to the ring
@@ -125,5 +152,10 @@ func DecodeHandoff(body []byte) (Handoff, error) {
 	if err != nil {
 		return Handoff{}, fmt.Errorf("ingest: handoff from %q: %w", env.From, err)
 	}
-	return Handoff{From: env.From, DB: db, Shards: env.Shards}, nil
+	return Handoff{
+		From:   env.From,
+		DB:     db,
+		Shards: env.Shards,
+		Key:    HandoffKey(env.From, env.Profile, env.Shards),
+	}, nil
 }

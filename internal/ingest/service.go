@@ -176,8 +176,15 @@ type Stats struct {
 	HandoffsIn      uint64 `json:"handoffs_in"`
 	HandoffCaptured uint64 `json:"handoff_captured"`
 	HandedOff       bool   `json:"handed_off"`
+	// AdoptedShards counts shard ids taken over via ledger adoption
+	// during membership changes — dedupe obligations, not samples.
+	AdoptedShards uint64 `json:"adopted_shards"`
 
 	Draining bool `json:"draining"`
+	// Sealed means admission is closed for a handoff export: refusals no
+	// longer record loss (nothing after the export snapshot may mutate
+	// the books this instance will ship).
+	Sealed bool `json:"sealed"`
 
 	// WAL is the write-ahead log's health section, nil when the WAL is
 	// disabled. The Router's health tracker reads Stalled to degrade an
@@ -242,6 +249,7 @@ type Service struct {
 	wantTNear    int64
 
 	draining  atomic.Bool
+	sealed    atomic.Bool
 	started   atomic.Bool
 	handedOff atomic.Bool
 	done      chan struct{}
@@ -285,6 +293,17 @@ type Service struct {
 	// over — the reason a retry of a donor-merged shard dedupes at the
 	// successor instead of double-merging across a drain failover.
 	handoffFrom map[string]string
+	// handoffSeen maps applied handoff envelopes' content digests to the
+	// captured total each acknowledged. A byte-identical redelivery (the
+	// sender retrying after a lost ack) answers ErrDuplicate with the
+	// original captured count instead of merging the donor's aggregate a
+	// second time — the envelope-level twin of the per-shard admission
+	// dedupe. Persisted in checkpoints and reconstructed by WAL replay.
+	handoffSeen map[string]uint64
+	// adopted counts shard ids this instance took over via ledger
+	// adoption (membership changes): dedupe obligations whose samples
+	// live elsewhere in the fleet.
+	adopted uint64
 
 	// WAL state (all guarded by mu except the log itself, which has its
 	// own locking). applied holds shard ids the aggregator has RESOLVED
@@ -295,6 +314,15 @@ type Service struct {
 	// so reclaim can never outrun an acknowledged-but-unmerged record.
 	// appliedHandoffs keys applied handoff records by Pos.String() —
 	// stable across replays — so a replayed handoff never double-merges.
+	// handoffMu serializes AcceptHandoff calls end to end, making the
+	// envelope dedupe check-then-apply atomic against a concurrent
+	// delivery of the same envelope (netchaos duplicates requests in the
+	// background, so this is a real interleaving, not a theoretical
+	// one). Handoffs are rare control-plane events; coarse serialization
+	// costs nothing. Ordered BEFORE mu (never acquire handoffMu while
+	// holding mu).
+	handoffMu sync.Mutex
+
 	wal             *wal.Log
 	walReplay       wal.ReplayInfo
 	applied         map[string]bool
@@ -400,6 +428,7 @@ func newService(cfg Config, seed *profile.DB, ck *Checkpoint) (*Service, error) 
 		refusedLoss:     make(map[string]uint64),
 		inflight:        make(map[string]*wal.Ticket),
 		handoffFrom:     make(map[string]string),
+		handoffSeen:     make(map[string]uint64),
 		applied:         make(map[string]bool),
 		pending:         make(map[wal.Pos]struct{}),
 		appliedHandoffs: make(map[string]bool),
@@ -420,6 +449,9 @@ func newService(cfg Config, seed *profile.DB, ck *Checkpoint) (*Service, error) 
 		}
 		for _, key := range ck.AppliedHandoffs {
 			s.appliedHandoffs[key] = true
+		}
+		for key, captured := range ck.HandoffKeys {
+			s.handoffSeen[key] = captured
 		}
 	}
 	if cfg.WALDir != "" {
@@ -503,6 +535,17 @@ func (s *Service) Submit(sub Submission) error {
 		return s.awaitDuplicate(t)
 	}
 	s.mu.Unlock()
+	// A sealed service (handoff export in progress) refuses NEW shards
+	// with zero side effects — no WAL record, no reservation, no loss
+	// accounting. The export snapshot is the last word on this
+	// instance's books; a post-seal refusal that recorded loss would add
+	// a pair the shipped envelope cannot carry, breaking the fleet sum
+	// when the donor's local state is later quarantined. Duplicates of
+	// already-admitted shards (above) still answer honestly: their
+	// samples are in the envelope and will live on at the receiver.
+	if s.sealed.Load() {
+		return ErrDraining
+	}
 	// Serialize the WAL record outside any lock: gob encoding is the
 	// expensive part and needs nothing shared.
 	var rec []byte
@@ -645,7 +688,13 @@ func (s *Service) refuse(sub Submission, counter *uint64) {
 	}
 	*counter++
 	_, seen := s.refusedLoss[sub.Shard]
-	if !seen {
+	// A refusal racing a seal (the submit slipped past the sealed check
+	// before Seal, then found the queue closed) must NOT record loss:
+	// the export snapshot may already be encoded, and a loss recorded
+	// after it would stand in books that are about to be quarantined —
+	// vanishing from the fleet sum. The client got a 503 and retries
+	// elsewhere; the pair gets recorded wherever the shard finally lands.
+	if !seen && !s.sealed.Load() {
 		s.refusedLoss[sub.Shard] = n
 		s.lostSamp += n
 		// Ledger entry and aggregate loss move in one critical section so
@@ -763,6 +812,10 @@ func (s *Service) snapshotCheckpoint() (*Checkpoint, error) {
 		ck.AppliedHandoffs = append(ck.AppliedHandoffs, key)
 	}
 	sort.Strings(ck.AppliedHandoffs)
+	ck.HandoffKeys = make(map[string]uint64, len(s.handoffSeen))
+	for key, captured := range s.handoffSeen {
+		ck.HandoffKeys[key] = captured
+	}
 	if s.wal != nil {
 		ck.Barrier = s.wal.Head()
 		for pos := range s.pending {
@@ -803,6 +856,21 @@ func (s *Service) persistCheckpoint() error {
 func (s *Service) BeginDrain() {
 	s.draining.Store(true)
 }
+
+// Seal closes admission for a handoff export: new shards are refused
+// WITHOUT loss accounting (the export snapshot must be the final word
+// on this instance's books), while duplicates of already-admitted
+// shards keep answering honestly. The caller runs Flush next, then
+// serializes the aggregate; see the export endpoint. Sealing is
+// one-way — a donor whose removal aborts restarts its process to
+// resume admission, which is the rollback path the runbook documents.
+func (s *Service) Seal() {
+	s.sealed.Store(true)
+	s.draining.Store(true)
+}
+
+// Sealed reports whether admission is closed for export.
+func (s *Service) Sealed() bool { return s.sealed.Load() }
 
 // Flush is the first half of the graceful-shutdown sequence: stop
 // admission and run the queued backlog through the aggregator, without
@@ -875,11 +943,27 @@ func (s *Service) Drain(ctx context.Context) error {
 // (delivered + lost) that migrated. A draining or already-handed-off
 // receiver refuses: the donor must walk to the next ring successor.
 func (s *Service) AcceptHandoff(h Handoff) (captured uint64, err error) {
+	s.handoffMu.Lock()
+	defer s.handoffMu.Unlock()
 	if s.handedOff.Load() {
 		return 0, ErrHandedOff
 	}
 	if s.draining.Load() {
 		return 0, ErrDraining
+	}
+	// Envelope-level dedupe: a byte-identical redelivery (the sender
+	// retrying after a lost 202) answers ErrDuplicate with the captured
+	// count the original acknowledged — merging it again would count the
+	// donor's whole aggregate twice. Checked before the config screen so
+	// even a sender whose retry raced a local config change dedupes.
+	if h.Key != "" {
+		s.mu.Lock()
+		if prev, seen := s.handoffSeen[h.Key]; seen {
+			s.dupes++
+			s.mu.Unlock()
+			return prev, ErrDuplicate
+		}
+		s.mu.Unlock()
 	}
 	if err := s.compatible(h.DB); err != nil {
 		return 0, err
@@ -942,6 +1026,9 @@ func (s *Service) applyHandoffLocked(h Handoff, captured uint64) error {
 			s.handoffFrom[sh] = h.From
 		}
 	}
+	if h.Key != "" {
+		s.handoffSeen[h.Key] = captured
+	}
 	s.handoffsIn++
 	s.handoffCapt += captured
 	if err := s.agg.Merge(h.DB); err != nil {
@@ -955,6 +1042,80 @@ func (s *Service) applyHandoffLocked(h Handoff, captured uint64) error {
 	}
 	s.sinceCkpt++
 	return nil
+}
+
+// AdoptShards takes over dedupe obligations for shards whose ring
+// ownership moved here during a membership change: each previously
+// unknown shard id joins the admitted ledger with provenance `from`, so
+// a client retry of a shard the old owner already merged answers
+// 202+duplicate here instead of double-merging. No samples move —
+// adoption is pure ledger. The adoption is WAL-durable before it
+// returns (the router commits the ring change only after every adoption
+// acked, so the ack must survive a crash). Returns how many ids were
+// newly adopted; already-admitted ids are skipped silently.
+func (s *Service) AdoptShards(from string, shards []string) (int, error) {
+	if s.handedOff.Load() {
+		return 0, ErrHandedOff
+	}
+	if s.sealed.Load() {
+		return 0, ErrDraining
+	}
+	// Filter to the unseen ids first so the WAL record holds exactly
+	// what this call changes (replay then reconstructs the same state
+	// whether or not earlier records already admitted some of them).
+	s.mu.Lock()
+	fresh := make([]string, 0, len(shards))
+	for _, sh := range shards {
+		if !s.admitted[sh] {
+			fresh = append(fresh, sh)
+		}
+	}
+	s.mu.Unlock()
+	if len(fresh) == 0 {
+		return 0, nil
+	}
+	var pos wal.Pos
+	var ticket *wal.Ticket
+	if s.wal != nil {
+		rec, err := encodeAdoptRecord(from, fresh)
+		if err != nil {
+			return 0, fmt.Errorf("%w: encode adopt: %v", ErrWAL, err)
+		}
+		s.mu.Lock()
+		var t *wal.Ticket
+		pos, t, err = s.wal.Stage(rec)
+		if err != nil {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("%w: %v", ErrWAL, err)
+		}
+		s.pending[pos] = struct{}{}
+		ticket = t
+		s.mu.Unlock()
+		if err := ticket.Wait(); err != nil {
+			s.mu.Lock()
+			delete(s.pending, pos)
+			s.mu.Unlock()
+			return 0, fmt.Errorf("%w: fsync: %v", ErrWAL, err)
+		}
+	}
+	s.mu.Lock()
+	n := 0
+	for _, sh := range fresh {
+		if !s.admitted[sh] {
+			s.admitted[sh] = true
+			s.handoffFrom[sh] = from
+			n++
+		}
+	}
+	s.adopted += uint64(n)
+	if !pos.IsZero() {
+		delete(s.pending, pos)
+	}
+	s.mu.Unlock()
+	if n > 0 {
+		s.logf("adopted %d shard ids from %s (ledger only; their samples live elsewhere)", n, from)
+	}
+	return n, nil
 }
 
 // MarkHandedOff records that this instance's aggregate has been shipped
@@ -989,6 +1150,47 @@ func (s *Service) HandoffProvenance(shard string) string {
 	return s.handoffFrom[shard]
 }
 
+// AppliedShards returns the shard ids the aggregator has RESOLVED here
+// (merged, or merge-failed with loss accounted), sorted. Together with
+// RefusedLosses and the handoff-captured counter this is one side of
+// the per-instance conservation equation the nemesis audits:
+//
+//	Σ captured(applied) + Σ refusedLoss + handoffCaptured == Samples + Lost
+func (s *Service) AppliedShards() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.applied))
+	for sh := range s.applied {
+		out = append(out, sh)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RefusedLosses returns a copy of the standing-refusal ledger: shard id
+// -> captured samples recorded as loss here and not (yet) reversed.
+func (s *Service) RefusedLosses() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.refusedLoss))
+	for sh, n := range s.refusedLoss {
+		out[sh] = n
+	}
+	return out
+}
+
+// AdoptedFrom returns a copy of the handoff-provenance map (shard id ->
+// donor) for the ledger endpoint's disposition section.
+func (s *Service) AdoptedFrom() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.handoffFrom))
+	for sh, from := range s.handoffFrom {
+		out[sh] = from
+	}
+	return out
+}
+
 // Stats returns a snapshot of every counter the service keeps.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
@@ -1005,11 +1207,13 @@ func (s *Service) Stats() Stats {
 		CheckpointShorted:  s.ckptShort,
 		HandoffsIn:         s.handoffsIn,
 		HandoffCaptured:    s.handoffCapt,
+		AdoptedShards:      s.adopted,
 	}
 	s.mu.Unlock()
 	st.Queue = s.q.Stats()
 	st.Breaker = s.brk.Stats()
 	st.Draining = s.draining.Load()
+	st.Sealed = s.sealed.Load()
 	st.HandedOff = s.handedOff.Load()
 	st.WAL = s.WALHealth()
 	// One lock-free counters snapshot (an atomic view load, no lock at
@@ -1039,6 +1243,8 @@ func (s *Service) replayRecord(pos wal.Pos, payload []byte) error {
 		s.replayAdmit(sub)
 	case walKindHandoff:
 		s.replayHandoff(pos, h)
+	case walKindAdopt:
+		s.replayAdopt(h)
 	}
 	return nil
 }
@@ -1077,16 +1283,41 @@ func (s *Service) replayAdmit(sub Submission) {
 }
 
 // replayHandoff re-applies one handoff record unless its position is
-// already in the checkpoint's applied-handoffs set.
+// already in the checkpoint's applied-handoffs set. The content-key
+// check covers the other crash window: a duplicate delivery whose FIRST
+// copy is in the checkpoint but whose second copy's WAL record survived
+// the barrier — the positions differ, the keys do not.
 func (s *Service) replayHandoff(pos wal.Pos, h Handoff) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.appliedHandoffs[pos.String()] {
 		return
 	}
+	if h.Key != "" {
+		if _, seen := s.handoffSeen[h.Key]; seen {
+			s.appliedHandoffs[pos.String()] = true
+			return
+		}
+	}
 	captured := h.DB.Samples() + h.DB.Lost()
 	_ = s.applyHandoffLocked(h, captured) // merge failure is accounted inside
 	s.appliedHandoffs[pos.String()] = true
+	s.replayedRecords++
+}
+
+// replayAdopt re-applies one ledger-adoption record. Naturally
+// idempotent: an already-admitted shard keeps its standing entry, so a
+// record that raced the checkpoint barrier replays to the same state.
+func (s *Service) replayAdopt(h Handoff) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sh := range h.Shards {
+		if !s.admitted[sh] {
+			s.admitted[sh] = true
+			s.handoffFrom[sh] = h.From
+			s.adopted++
+		}
+	}
 	s.replayedRecords++
 }
 

@@ -16,15 +16,20 @@ import (
 // before this codec ever sees it; the inner profile CRC still guards
 // against encode-time corruption.
 //
-// Only two kinds exist. Refusals deliberately have no record: a refusal
+// Three kinds exist. Refusals deliberately have no record: a refusal
 // is just the ABSENCE of a resolution for an admit record, and the
 // standing-loss ledger entry rides in the next checkpoint. Replaying an
 // admit record whose submission was refused pre-crash merges it instead
 // — strictly better (the payload was durable anyway), and conservation
 // holds because the shard's captured samples count once either way.
+// Adopt records carry no profile: a ledger adoption moves DEDUPE
+// obligations (shard ids whose samples live elsewhere in the fleet),
+// never samples, so replaying one reconstructs admitted-with-provenance
+// entries and nothing in the aggregate.
 const (
 	walKindAdmit   = "admit"
 	walKindHandoff = "handoff"
+	walKindAdopt   = "adopt"
 )
 
 // ErrBadWALRecord reports a structurally invalid WAL record payload —
@@ -36,9 +41,10 @@ var ErrBadWALRecord = errors.New("ingest: malformed wal record")
 type walEnvelope struct {
 	Kind    string   `json:"kind"`
 	Shard   string   `json:"shard,omitempty"`  // admit
-	From    string   `json:"from,omitempty"`   // handoff: donor instance
-	Shards  []string `json:"shards,omitempty"` // handoff: donor ledger
-	Profile []byte   `json:"profile"`          // profile.Save bytes
+	From    string   `json:"from,omitempty"`   // handoff/adopt: donor instance
+	Shards  []string `json:"shards,omitempty"` // handoff/adopt: shard ids
+	Key     string   `json:"key,omitempty"`    // handoff: envelope content digest
+	Profile []byte   `json:"profile,omitempty"`
 }
 
 // encodeAdmitRecord serializes a submission for the WAL. The shard DB
@@ -54,12 +60,21 @@ func encodeAdmitRecord(sub Submission) ([]byte, error) {
 }
 
 // encodeHandoffRecord serializes an accepted drain handoff for the WAL.
+// The content key is carried explicitly rather than recomputed: the
+// re-serialized profile bytes need not match the wire bytes the key was
+// digested over.
 func encodeHandoffRecord(h Handoff) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := h.DB.Save(&buf); err != nil {
 		return nil, err
 	}
-	return json.Marshal(walEnvelope{Kind: walKindHandoff, From: h.From, Shards: h.Shards, Profile: buf.Bytes()})
+	return json.Marshal(walEnvelope{Kind: walKindHandoff, From: h.From, Shards: h.Shards, Key: h.Key, Profile: buf.Bytes()})
+}
+
+// encodeAdoptRecord serializes a ledger adoption (no profile payload:
+// adoption moves dedupe obligations, not samples).
+func encodeAdoptRecord(from string, shards []string) ([]byte, error) {
+	return json.Marshal(walEnvelope{Kind: walKindAdopt, From: from, Shards: shards})
 }
 
 // decodeWALRecord parses one WAL record payload. Exactly one of sub or
@@ -68,6 +83,13 @@ func decodeWALRecord(payload []byte) (kind string, sub Submission, h Handoff, er
 	var env walEnvelope
 	if err := json.Unmarshal(payload, &env); err != nil {
 		return "", Submission{}, Handoff{}, fmt.Errorf("ingest: wal record envelope: %v: %w", err, ErrBadWALRecord)
+	}
+	if env.Kind == walKindAdopt {
+		// Adoption records are profile-free by design.
+		if env.From == "" || len(env.Shards) == 0 {
+			return "", Submission{}, Handoff{}, fmt.Errorf("ingest: wal adopt record without donor or shards: %w", ErrBadWALRecord)
+		}
+		return walKindAdopt, Submission{}, Handoff{From: env.From, Shards: env.Shards}, nil
 	}
 	if len(env.Profile) == 0 {
 		return "", Submission{}, Handoff{}, fmt.Errorf("ingest: wal %s record without a profile payload: %w", env.Kind, ErrBadWALRecord)
@@ -86,7 +108,7 @@ func decodeWALRecord(payload []byte) (kind string, sub Submission, h Handoff, er
 		if env.From == "" {
 			return "", Submission{}, Handoff{}, fmt.Errorf("ingest: wal handoff record without a donor id: %w", ErrBadWALRecord)
 		}
-		return walKindHandoff, Submission{}, Handoff{From: env.From, DB: db, Shards: env.Shards}, nil
+		return walKindHandoff, Submission{}, Handoff{From: env.From, DB: db, Shards: env.Shards, Key: env.Key}, nil
 	}
 	return "", Submission{}, Handoff{}, fmt.Errorf("ingest: wal record kind %q: %w", env.Kind, ErrBadWALRecord)
 }

@@ -18,6 +18,12 @@
 //	GET  /v1/stats         ingest/queue/breaker/loss/WAL/witness/sketch counters
 //	GET  /v1/report?n=15   plain-text hot-instruction table
 //	GET  /v1/ledger        admission ledger (anti-entropy reads this)
+//	POST /v1/ledger/adopt  adopt shard ids from a peer (membership change)
+//	POST /v1/handoff/export seal + flush + serialize the aggregate for a
+//	                       scale-in migration (idempotent: retries get the
+//	                       byte-identical cached envelope)
+//	POST /v1/handoff/confirm mark handed off and quarantine the WAL after
+//	                       the receiver's durable ack
 //	POST /v1/witness       witness-copy store (see witness.go)
 //	GET  /healthz          liveness (200 while the process serves)
 //	GET  /readyz           readiness (503 when draining, breaker open, or WAL stalled/wedged)
@@ -93,6 +99,14 @@ type Server struct {
 
 	logMu sync.Mutex
 
+	// exportMu guards the cached handoff-export envelope. The cache is
+	// what makes export idempotent at the BYTE level: the receiver's
+	// envelope dedupe keys on a content digest, so a router retrying a
+	// lost export response must get the identical serialization back,
+	// not a fresh (differently-ordered, differently-keyed) encode.
+	exportMu   sync.Mutex
+	exportBody []byte
+
 	inFlight     atomic.Int64 // queries currently being served
 	queriesShed  atomic.Uint64
 	queriesTotal atomic.Uint64
@@ -111,6 +125,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/submit", s.handleSubmit)
 	mux.HandleFunc("/v1/handoff", s.handleHandoff)
+	mux.HandleFunc("/v1/handoff/export", s.handleHandoffExport)
+	mux.HandleFunc("/v1/handoff/confirm", s.handleHandoffConfirm)
+	mux.HandleFunc("/v1/ledger/adopt", s.handleLedgerAdopt)
 	mux.HandleFunc("/v1/hotpcs", s.query(s.handleHotPCs))
 	mux.HandleFunc("/v1/estimate", s.query(s.handleEstimate))
 	mux.HandleFunc("/v1/report", s.query(s.handleReport))
@@ -287,6 +304,18 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusServiceUnavailable, "wal", err.Error())
 	case errors.Is(err, ingest.ErrConfigMismatch):
 		s.writeErr(w, http.StatusConflict, "config-mismatch", err.Error())
+	case errors.Is(err, ingest.ErrDuplicate):
+		// Byte-identical redelivery (sender retried after a lost ack):
+		// acknowledge with the captured count the original merge reported,
+		// exactly like a duplicate shard submission — the sender's retry
+		// loop treats 202 as done either way.
+		s.logf("handoff from %s deduped: envelope already applied (%d captured)", h.From, captured)
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"from":      h.From,
+			"captured":  captured,
+			"shards":    len(h.Shards),
+			"duplicate": true,
+		})
 	case err != nil:
 		s.writeErr(w, http.StatusInternalServerError, "internal", err.Error())
 	default:
@@ -295,6 +324,130 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 			"from":     h.From,
 			"captured": captured,
 			"shards":   len(h.Shards),
+		})
+	}
+}
+
+// handleHandoffExport is the scale-in donor's side of a migration: seal
+// admission (refusals stop recording loss — the envelope must be the
+// final word on this instance's books), flush the queued backlog through
+// the aggregator, and serialize aggregate + admission ledger as a
+// handoff envelope. The serialized bytes are cached so a retry after a
+// lost response returns the IDENTICAL envelope — the receiver dedupes
+// redeliveries by content digest, which only byte-equal bodies share.
+// Sealing is one-way; an aborted removal restarts the donor process to
+// resume admission (the runbook's rollback path).
+func (s *Server) handleHandoffExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, "method", "POST only")
+		return
+	}
+	s.exportMu.Lock()
+	defer s.exportMu.Unlock()
+	if s.exportBody == nil {
+		s.svc.Seal()
+		if err := s.svc.Flush(r.Context()); err != nil {
+			// Seal stands (one-way), but nothing was cached: a retry
+			// re-flushes whatever remains and exports then.
+			s.logf("503 handoff export: flush: %v", err)
+			s.writeErr(w, http.StatusServiceUnavailable, "flush", err.Error())
+			return
+		}
+		body, err := ingest.EncodeHandoff(s.cfg.Instance, s.svc.Aggregate().Save, s.svc.AdmittedShards())
+		if err != nil {
+			s.writeErr(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		s.exportBody = body
+		s.logf("handoff export sealed: %d bytes, %d samples (+%d lost)",
+			len(body), s.svc.Aggregate().Samples(), s.svc.Aggregate().Lost())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(s.exportBody)
+}
+
+// handleHandoffConfirm completes a scale-in migration after the receiver
+// durably acked the exported envelope: mark handed off (submissions and
+// further handoffs refuse) and quarantine the WAL directory — a restart
+// that replayed it would double-count the migrated samples, which now
+// live at the receiver. Idempotent: a confirm retry after a lost
+// response answers 200 without re-quarantining.
+func (s *Server) handleHandoffConfirm(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, "method", "POST only")
+		return
+	}
+	s.exportMu.Lock()
+	defer s.exportMu.Unlock()
+	if s.exportBody == nil {
+		s.writeErr(w, http.StatusConflict, "not-exported",
+			"nothing to confirm: no handoff export was taken from this instance")
+		return
+	}
+	if !s.svc.HandedOff() {
+		s.svc.MarkHandedOff()
+		if err := s.svc.QuarantineWALDir(".handedoff"); err != nil {
+			// Handed-off already stands (refusing new work is correct either
+			// way); the un-quarantined WAL is the operator's cleanup, flagged
+			// loudly because a restart over it would double-count.
+			s.logf("handoff confirm: WAL quarantine failed: %v (do NOT restart over this WAL dir)", err)
+			writeJSON(w, http.StatusOK, map[string]any{
+				"instance": s.cfg.Instance, "handed_off": true, "wal_quarantined": false,
+			})
+			return
+		}
+		s.logf("handoff confirmed: WAL quarantined, instance retired")
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"instance": s.cfg.Instance, "handed_off": true, "wal_quarantined": true,
+	})
+}
+
+// adoptRequest is the /v1/ledger/adopt body: shard ids whose ring
+// ownership moved here, with the donor they were admitted at.
+type adoptRequest struct {
+	From   string   `json:"from"`
+	Shards []string `json:"shards"`
+}
+
+// handleLedgerAdopt takes over dedupe obligations during a membership
+// change: the named shards join the admitted ledger (WAL-durably) so
+// client retries of already-merged shards answer 202+duplicate here
+// instead of double-merging. Pure ledger — no samples move.
+func (s *Server) handleLedgerAdopt(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, "method", "POST only")
+		return
+	}
+	body, err := s.readBounded(w, r, s.cfg.MaxBodyBytes)
+	if err != nil {
+		return
+	}
+	var req adoptRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, "malformed", err.Error())
+		return
+	}
+	if req.From == "" || len(req.Shards) == 0 {
+		s.writeErr(w, http.StatusBadRequest, "malformed", "adopt needs a donor instance and at least one shard id")
+		return
+	}
+	switch adopted, err := s.svc.AdoptShards(req.From, req.Shards); {
+	case errors.Is(err, ingest.ErrDraining), errors.Is(err, ingest.ErrHandedOff):
+		s.writeErr(w, http.StatusServiceUnavailable, "draining", err.Error())
+	case errors.Is(err, ingest.ErrWAL):
+		s.logf("503 ledger adopt from %s: WAL append failed (%v)", req.From, err)
+		s.writeErr(w, http.StatusServiceUnavailable, "wal", err.Error())
+	case err != nil:
+		s.writeErr(w, http.StatusInternalServerError, "internal", err.Error())
+	default:
+		s.logf("adopted %d/%d shard ids from %s", adopted, len(req.Shards), req.From)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"instance": s.cfg.Instance,
+			"from":     req.From,
+			"adopted":  adopted,
+			"total":    len(req.Shards),
 		})
 	}
 }
@@ -610,13 +763,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // handleLedger publishes the admission ledger: the distinct shard ids
 // this instance has admitted (queued or merged). Anti-entropy compares a
 // peer's witness ledger against this to find submissions the instance
-// lost with its disk.
+// lost with its disk ("shards" is that contract — do not rename it).
+// The disposition sections let a membership change classify each id:
+// "applied" (samples resolved here), "refused" (standing loss), and
+// "adopted_from" (dedupe-only ids whose samples live at the named
+// donor or arrived with its handoff).
 func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
 	shards := s.svc.AdmittedShards()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"instance": s.cfg.Instance,
-		"shards":   shards,
-		"count":    len(shards),
+		"instance":     s.cfg.Instance,
+		"shards":       shards,
+		"count":        len(shards),
+		"applied":      s.svc.AppliedShards(),
+		"refused":      s.svc.RefusedLosses(),
+		"adopted_from": s.svc.AdoptedFrom(),
 	})
 }
 
