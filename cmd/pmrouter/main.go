@@ -55,6 +55,7 @@ import (
 
 	"profileme/internal/cluster"
 	"profileme/internal/ingest"
+	"profileme/internal/traffic"
 )
 
 func main() { os.Exit(run()) }
@@ -89,6 +90,7 @@ func run() int {
 
 		witness = flag.Bool("witness", false, "replicate accepted submissions to the shard's ring successor as witness copies")
 		aeEach  = flag.Duration("anti-entropy-every", 0, "witness anti-entropy sweep period (0 disables; requires -witness)")
+		record  = flag.String("record", "", "tee every routed submission body into this trace file (tier offered load; replayable with pmtraffic replay)")
 	)
 	flag.Parse()
 
@@ -98,7 +100,7 @@ func run() int {
 		return 2
 	}
 	logw := ingest.NewSyncWriter(os.Stderr)
-	rt, err := cluster.NewRouter(cluster.RouterConfig{
+	rcfg := cluster.RouterConfig{
 		Instances:        ins,
 		VNodes:           *vnodes,
 		Seed:             *seed,
@@ -108,7 +110,37 @@ func run() int {
 		MaxBodyBytes:     *maxBody,
 		Witness:          *witness,
 		Log:              logw,
-	})
+	}
+	if *record != "" {
+		// The router sees the whole tier's offered load in one place, so
+		// a trace captured here replays an entire multi-fleet campaign.
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmrouter: -record:", err)
+			return 2
+		}
+		w, err := traffic.NewWriter(f, traffic.Meta{Source: "pmrouter -record"})
+		if err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "pmrouter: -record:", err)
+			return 2
+		}
+		cw := traffic.NewCaptureWriter(w)
+		rcfg.Capture = cw.Capture
+		defer func() {
+			if err := cw.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "pmrouter: -record capture:", err)
+			}
+			if err := f.Sync(); err != nil {
+				fmt.Fprintln(os.Stderr, "pmrouter: -record sync:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "pmrouter: -record close:", err)
+			}
+			fmt.Printf("pmrouter: %d submissions recorded to %s\n", cw.Count(), *record)
+		}()
+	}
+	rt, err := cluster.NewRouter(rcfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmrouter:", err)
 		return 2

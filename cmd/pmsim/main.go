@@ -61,6 +61,7 @@ func main() {
 
 		fleetN     = flag.Int("fleet", 0, "fleet mode: run a supervised campaign across this many workers")
 		submitURL  = flag.String("submit", "", "fleet mode: also POST each completed shard profile to this collector; comma-separated URLs add transport-failover fallbacks (e.g. http://localhost:7000)")
+		recordPath = flag.String("record", "", "fleet mode: tee every shard submission into this trace file (replayable with pmtraffic replay; works with or without -submit)")
 		shards     = flag.Int("shards", 4, "fleet mode: sampling shards per benchmark")
 		checkpoint = flag.String("checkpoint", "", "fleet mode: checkpoint directory for crash-safe campaign state")
 		resume     = flag.Bool("resume", false, "fleet mode: resume the campaign in -checkpoint instead of starting fresh")
@@ -91,6 +92,7 @@ func main() {
 		resume:   *resume,
 		ckptDir:  *checkpoint,
 		submit:   *submitURL,
+		record:   *recordPath,
 		set:      set,
 	}
 	if err := fv.validate(); err != nil {
@@ -135,6 +137,7 @@ func main() {
 			top:        *top,
 			saveTo:     *saveTo,
 			submitURL:  *submitURL,
+			recordPath: *recordPath,
 		}))
 	}
 

@@ -54,6 +54,7 @@ import (
 	"profileme/internal/ingest"
 	"profileme/internal/profile"
 	"profileme/internal/server"
+	"profileme/internal/traffic"
 )
 
 func main() { os.Exit(run()) }
@@ -87,6 +88,7 @@ func run() int {
 		winBuckets   = flag.Int("sketch-window-buckets", 60, "windowed-query ring buckets (horizon = buckets x bucket duration)")
 		winBucketDur = flag.Duration("sketch-window-bucket", time.Second, "windowed-query ring bucket duration")
 
+		record   = flag.String("record", "", "tee every decodable submission body into this trace file (offered load, pre-admission; replayable with pmtraffic replay)")
 		instance = flag.String("instance", "", "tier instance id (ring identity; enables clustered drain handoff with -peers)")
 		peers    = flag.String("peers", "", "ring peers as id=url,id=url,... — a graceful drain hands the aggregate to the ring successor")
 		vnodes   = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per instance on the placement ring (must match the router)")
@@ -197,13 +199,44 @@ func run() int {
 	}
 	svc.Start()
 
-	srv := server.New(server.Config{
+	scfg := server.Config{
 		Instance:      *instance,
 		MaxBodyBytes:  *maxBody,
 		QueryDeadline: *queryDeadline,
 		MaxQueries:    *maxQueries,
 		Log:           logw,
-	}, svc)
+	}
+	if *record != "" {
+		// Capture sees every decodable submission before admission — the
+		// trace is the collector's offered load, duplicates and refused
+		// shards included, which is exactly what a faithful replay needs.
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmsimd: -record:", err)
+			return 2
+		}
+		w, err := traffic.NewWriter(f, traffic.Meta{Source: "pmsimd -record"})
+		if err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "pmsimd: -record:", err)
+			return 2
+		}
+		cw := traffic.NewCaptureWriter(w)
+		scfg.Capture = cw.Capture
+		defer func() {
+			if err := cw.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "pmsimd: -record capture:", err)
+			}
+			if err := f.Sync(); err != nil {
+				fmt.Fprintln(os.Stderr, "pmsimd: -record sync:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "pmsimd: -record close:", err)
+			}
+			fmt.Printf("pmsimd: %d submissions recorded to %s\n", cw.Count(), *record)
+		}()
+	}
+	srv := server.New(scfg, svc)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -3,7 +3,6 @@ package cluster
 import (
 	"bytes"
 	"context"
-	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -11,13 +10,11 @@ import (
 	"testing"
 	"time"
 
-	"profileme/internal/core"
 	"profileme/internal/cpu"
 	"profileme/internal/ingest"
 	"profileme/internal/profile"
 	"profileme/internal/server"
-	"profileme/internal/sim"
-	"profileme/internal/workload"
+	"profileme/internal/traffic"
 )
 
 // The tier saturation soak is the acceptance test for the fleet-wide
@@ -25,54 +22,55 @@ import (
 //
 //	Σ captured over distinct (instance, shard) == Σ over instances of Samples+Lost
 //
-// under the worst conditions the tier promises to survive at once: a 4×
-// capacity flood, one instance SIGKILLed mid-flood, and one gracefully
-// drained mid-flood with its aggregate handed to the ring successor.
-// The killed instance runs a WAL, so the invariant holds EXACTLY
-// through the kill: every submission it acknowledged (and every refusal
-// it loss-accounted) is reconstructed by replay — no (instance, shard)
-// pair is excluded, no crash-attributed loss is tolerated, and the
-// recovered aggregate must be bit-identical to merging exactly the
-// shards the clients saw it account for.
+// under the worst conditions the tier promises to survive at once: a
+// trace-profile flood several times over capacity, one instance
+// SIGKILLed mid-flood, and one gracefully drained mid-flood with its
+// aggregate handed to the ring successor. The killed instance runs a
+// WAL, so the invariant holds EXACTLY through the kill: every submission
+// it acknowledged (and every refusal it loss-accounted) is reconstructed
+// by replay — no (instance, shard) pair is excluded, no crash-attributed
+// loss is tolerated, and the recovered aggregate must be bit-identical
+// to merging exactly the shards the clients saw it account for.
+//
+// The offered load is no longer a flat flood: it is a traffic.Spec — a
+// steady compress cohort on a diurnal ramp plus an m88ksim cohort with a
+// superimposed burst — so the soak exercises the same declarative
+// schedule machinery pmtraffic drives, including repeated arrivals of
+// the same shard (duplicate-ack dedupe under overload).
 
 const (
-	tierSoakShards   = 24
 	tierSoakScale    = 40_000
 	tierSoakInterval = 16
 )
 
-// tierShardDB runs one real simulated shard — same wiring as the
-// fleet's simulate() — with a shard-specific sampling seed.
-func tierShardDB(t *testing.T, seed uint64) *profile.DB {
-	t.Helper()
-	b, ok := workload.ByName("compress")
-	if !ok {
-		t.Fatal("no compress benchmark")
+// soakSpec declares the soak's offered load. Rates are chosen so the
+// schedule offers ~2.5 arrivals per shard over 30 modeled seconds —
+// delivered concurrently against 6 queue slots, that is the capacity
+// flood wave 1 asserts on. The spec is seeded, so the schedule (and
+// every assertion derived from it) is deterministic.
+func soakSpec() *traffic.Spec {
+	return &traffic.Spec{
+		Version:   traffic.SpecVersion,
+		Seed:      0x50a3,
+		DurationS: 30,
+		Interval:  tierSoakInterval,
+		Cohorts: []traffic.Cohort{
+			{
+				Name: "steady", Bench: "compress", Scale: tierSoakScale, Shards: 16,
+				BaseRate: 1.0,
+				Diurnal:  &traffic.Diurnal{Amplitude: 0.8, PeriodS: 30},
+			},
+			{
+				Name: "burst", Bench: "m88ksim", Scale: tierSoakScale, Shards: 8,
+				BaseRate: 0.3,
+				Bursts:   []traffic.Burst{{AtS: 5, DurS: 10, RatePerS: 2}},
+			},
+			// Small heterogeneous cohorts so the flood mixes all three
+			// extension kernels' profile shapes, not just one.
+			{Name: "stencil", Bench: "swim", Scale: tierSoakScale, Shards: 3, BaseRate: 0.25},
+			{Name: "sorter", Bench: "eqntott", Scale: tierSoakScale, Shards: 3, BaseRate: 0.25},
+		},
 	}
-	prog := b.Build(tierSoakScale)
-	ccfg := cpu.DefaultConfig()
-	unit, err := core.NewUnit(core.Config{
-		MeanInterval: tierSoakInterval,
-		BufferDepth:  8,
-		CountMode:    core.CountInstructions,
-		IntervalMode: core.IntervalGeometric,
-		Seed:         seed,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	db := profile.NewDB(tierSoakInterval, 0, ccfg.SustainedIssueWidth)
-	pipe, err := cpu.New(prog, sim.NewMachineSource(sim.New(prog), 0), ccfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pipe.AttachProfileMe(unit, db.Handler())
-	if _, err := pipe.Run(0); err != nil {
-		t.Fatalf("shard sim (seed %d): %v", seed, err)
-	}
-	st := unit.Stats()
-	db.RecordLoss(st.SamplesDropped + st.SamplesOverwritten)
-	return db
 }
 
 func topPCSet(pcs []uint64) map[uint64]bool {
@@ -88,20 +86,29 @@ func TestTierSaturationSoak(t *testing.T) {
 		t.Skip("soak: real shard simulations")
 	}
 
-	// Real shards, differing only by sampling seed — the independent
-	// sampled runs the paper's aggregation argument assumes.
-	shards := make([]*profile.DB, tierSoakShards)
-	for i := range shards {
-		shards[i] = tierShardDB(t, uint64(i)+1)
+	// Materialize the spec's shard payloads: real simulated shards, one
+	// per (cohort, index), differing by data seed and sampling seed — the
+	// independent sampled runs the paper's aggregation argument assumes.
+	sp := soakSpec()
+	pools, err := sp.Materialize()
+	if err != nil {
+		t.Fatal(err)
 	}
-	shardID := func(i int) string { return fmt.Sprintf("compress/s%03d", i) }
-	captured := func(i int) uint64 { return shards[i].Samples() + shards[i].Lost() }
+	byShard := make(map[string]traffic.Payload)
+	var order []string // spec order: deterministic iteration for merges and sums
+	for _, c := range sp.Cohorts {
+		for _, p := range pools[c.Name] {
+			byShard[p.Shard] = p
+			order = append(order, p.Shard)
+		}
+	}
+	captured := func(s string) uint64 { return byShard[s].Captured }
 
 	// Single-instance baseline: every shard merged, nothing lost.
 	baseline := profile.NewDB(tierSoakInterval, 0, cpu.DefaultConfig().SustainedIssueWidth)
-	for i, sh := range shards {
-		if err := baseline.Merge(sh); err != nil {
-			t.Fatalf("baseline merge %d: %v", i, err)
+	for _, s := range order {
+		if err := baseline.Merge(byShard[s].DB); err != nil {
+			t.Fatalf("baseline merge %s: %v", s, err)
 		}
 	}
 	var baselineTop []uint64
@@ -112,10 +119,22 @@ func TestTierSaturationSoak(t *testing.T) {
 		t.Fatalf("baseline has only %d hot PCs", len(baselineTop))
 	}
 
-	// Three instances, queue depth 2 each — 24 shards against 6 queue
-	// slots is the 4× flood. Aggregators are held so wave 1's outcome is
-	// overload, not a race. c2 — the instance the test will SIGKILL —
-	// runs a WAL, so its acknowledgements survive the kill.
+	// The deterministic arrival schedule: ramp + burst phases, with some
+	// shards arriving more than once (those re-arrivals are the duplicate
+	// submissions the admission ledger must dedupe).
+	sched, err := sp.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) <= len(order) {
+		t.Fatalf("schedule too thin for a flood: %d arrivals over %d shards", len(sched), len(order))
+	}
+
+	// Three instances, queue depth 2 each — the schedule's arrivals
+	// against 6 queue slots is the capacity flood. Aggregators are held
+	// so wave 1's outcome is overload, not a race. c2 — the instance the
+	// test will SIGKILL — runs a WAL, so its acknowledgements survive the
+	// kill.
 	ids := []string{"c0", "c1", "c2"}
 	byID := make(map[string]*tierInstance, len(ids))
 	peers := make(map[string]string, len(ids))
@@ -155,46 +174,60 @@ func TestTierSaturationSoak(t *testing.T) {
 	// the router's augmented responses. acc[s] is where the shard finally
 	// merged; refusedAt[s] the instances whose loss ledger recorded it.
 	var mu sync.Mutex
-	acc := make(map[int]string)
-	refusedAt := make(map[int]map[string]bool)
-	noteRefusal := func(i int, instance string) {
+	acc := make(map[string]string)
+	queued := make(map[string]bool) // non-duplicate 202s: true queue admissions
+	refusedAt := make(map[string]map[string]bool)
+	noteRefusal := func(s, instance string) {
 		if instance == "" {
 			return
 		}
-		if refusedAt[i] == nil {
-			refusedAt[i] = make(map[string]bool)
+		if refusedAt[s] == nil {
+			refusedAt[s] = make(map[string]bool)
 		}
-		refusedAt[i][instance] = true
+		refusedAt[s][instance] = true
 	}
-	submit := func(i int) submitResp {
-		got := submitVia(t, front.URL, shardID(i), shards[i])
+	submit := func(s string) submitResp {
+		got := submitVia(t, front.URL, s, byShard[s].DB)
 		mu.Lock()
 		defer mu.Unlock()
 		for _, id := range got.RefusedBy {
-			noteRefusal(i, id)
+			noteRefusal(s, id)
 		}
 		switch got.status {
 		case http.StatusAccepted:
-			acc[i] = got.Instance
+			// A duplicate 202 is a receipt that the shard is accounted at
+			// this instance — queued, merged, or (when a concurrent twin's
+			// reservation was backed out to a 429) loss-accounted there.
+			// Either way the (instance, shard) pair is on the books
+			// exactly once, so it is a final outcome; only non-duplicate
+			// 202s prove a queue slot was consumed.
+			acc[s] = got.Instance
+			if !got.Duplicate {
+				queued[s] = true
+			}
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			// 429 queue-full and 503 draining both record the shard's
 			// captured samples as loss at the refusing instance; the
 			// router's "no-instances" 503 carries no instance and records
 			// nothing.
-			noteRefusal(i, got.Instance)
+			noteRefusal(s, got.Instance)
 		default:
-			t.Errorf("shard %d: unexpected status %d", i, got.status)
+			t.Errorf("shard %s: unexpected status %d", s, got.status)
 		}
 		return got
 	}
 
-	// Wave 1: the 4× flood, aggregators held. Queries must keep
-	// answering 200 mid-flood (the stats path reads atomic counters, it
-	// never contends with merges).
+	// Wave 1: the trace-profile flood, aggregators held — every scheduled
+	// arrival (duplicates included) delivered concurrently. Queries must
+	// keep answering 200 mid-flood (the stats path reads atomic counters,
+	// it never contends with merges).
+	offered := make(map[string]bool)
 	var wg sync.WaitGroup
-	for i := 0; i < tierSoakShards; i++ {
+	for _, a := range sched {
+		s := pools[a.Cohort][a.Shard].Shard
+		offered[s] = true
 		wg.Add(1)
-		go func(i int) { defer wg.Done(); submit(i) }(i)
+		go func(s string) { defer wg.Done(); submit(s) }(s)
 	}
 	wg.Add(1)
 	go func() {
@@ -211,13 +244,13 @@ func TestTierSaturationSoak(t *testing.T) {
 	wg.Wait()
 
 	mu.Lock()
-	wave1Accepted := len(acc)
+	wave1Queued := len(queued)
 	mu.Unlock()
-	if wave1Accepted > 6 {
-		t.Fatalf("wave 1 accepted %d shards with 6 queue slots", wave1Accepted)
+	if wave1Queued > 6 {
+		t.Fatalf("wave 1 queued %d distinct shards with 6 queue slots", wave1Queued)
 	}
-	if tierSoakShards-wave1Accepted < 2*wave1Accepted {
-		t.Fatalf("flood too gentle: %d accepted, %d refused", wave1Accepted, tierSoakShards-wave1Accepted)
+	if len(offered)-wave1Queued < 2*wave1Queued {
+		t.Fatalf("flood too gentle: %d distinct shards queued, %d offered", wave1Queued, len(offered))
 	}
 
 	// Mid-flood chaos begins: aggregators start draining the backlog,
@@ -231,29 +264,32 @@ func TestTierSaturationSoak(t *testing.T) {
 	byID["c2"].ts.Close()
 	byID["c2"].svc.CloseWAL()
 
+	// Every shard — scheduled or not — retries to a final outcome; shards
+	// the thinned schedule never emitted join here, so the conservation
+	// sum spans the whole spec.
 	var retries sync.WaitGroup
-	for i := 0; i < tierSoakShards; i++ {
+	for _, s := range order {
 		mu.Lock()
-		_, done := acc[i]
+		_, done := acc[s]
 		mu.Unlock()
 		if done {
 			continue
 		}
 		retries.Add(1)
-		go func(i int) {
+		go func(s string) {
 			defer retries.Done()
 			deadline := time.Now().Add(30 * time.Second)
 			for {
-				if got := submit(i); got.status == http.StatusAccepted {
+				if got := submit(s); got.status == http.StatusAccepted {
 					return
 				}
 				if time.Now().After(deadline) {
-					t.Errorf("shard %d never accepted on retry", i)
+					t.Errorf("shard %s never accepted on retry", s)
 					return
 				}
 				time.Sleep(2 * time.Millisecond)
 			}
-		}(i)
+		}(s)
 	}
 	time.Sleep(5 * time.Millisecond)
 	byID["c1"].svc.BeginDrain() // the graceful drain begins mid-retry-flood
@@ -330,10 +366,10 @@ func TestTierSaturationSoak(t *testing.T) {
 	// for (202 acknowledgement or 429 refusal) is in the recovered
 	// ledger, and nothing the kill touched is recorded as lost.
 	mu.Lock()
-	c2Shards := make(map[int]bool)
-	for i := 0; i < tierSoakShards; i++ {
-		if acc[i] == "c2" || refusedAt[i]["c2"] {
-			c2Shards[i] = true
+	c2Shards := make(map[string]bool)
+	for _, s := range order {
+		if acc[s] == "c2" || refusedAt[s]["c2"] {
+			c2Shards[s] = true
 		}
 	}
 	mu.Unlock()
@@ -341,9 +377,9 @@ func TestTierSaturationSoak(t *testing.T) {
 	for _, sh := range c2rec.AdmittedShards() {
 		recLedger[sh] = true
 	}
-	for i := range c2Shards {
-		if !recLedger[shardID(i)] {
-			t.Errorf("shard %d acknowledged by c2 but missing from the recovered ledger", i)
+	for s := range c2Shards {
+		if !recLedger[s] {
+			t.Errorf("shard %s acknowledged by c2 but missing from the recovered ledger", s)
 		}
 	}
 	if lost := c2rec.Aggregate().Lost(); lost != 0 {
@@ -358,10 +394,10 @@ func TestTierSaturationSoak(t *testing.T) {
 	// ≥8/10 hot-PC-overlap tolerance (which papered over the samples a
 	// kill used to destroy).
 	expect := profile.NewDB(tierSoakInterval, 0, cpu.DefaultConfig().SustainedIssueWidth)
-	for i := 0; i < tierSoakShards; i++ {
-		if c2Shards[i] {
-			if err := expect.Merge(shards[i]); err != nil {
-				t.Fatalf("expected-aggregate merge %d: %v", i, err)
+	for _, s := range order {
+		if c2Shards[s] {
+			if err := expect.Merge(byShard[s].DB); err != nil {
+				t.Fatalf("expected-aggregate merge %s: %v", s, err)
 			}
 		}
 	}
@@ -382,20 +418,22 @@ func TestTierSaturationSoak(t *testing.T) {
 	// c0 holds its own shards plus c1's migrated aggregate; recovered c2
 	// holds everything it ever accounted. A (instance, shard) pair is
 	// recorded iff the shard finally merged there or its refusal was
-	// accounted there — NO pair is excluded; the kill destroyed nothing.
+	// accounted there — NO pair is excluded; the kill destroyed nothing,
+	// and the schedule's duplicate arrivals deduped instead of double-
+	// counting.
 	mu.Lock()
 	var wantSum uint64
-	for i := 0; i < tierSoakShards; i++ {
-		if acc[i] == "" {
-			t.Errorf("shard %d has no final outcome", i)
+	for _, s := range order {
+		if acc[s] == "" {
+			t.Errorf("shard %s has no final outcome", s)
 			continue
 		}
-		wantSum += captured(i)
-		for id := range refusedAt[i] {
-			if acc[i] == id {
+		wantSum += captured(s)
+		for id := range refusedAt[s] {
+			if acc[s] == id {
 				continue // later accepted at the same instance: loss reversed (or replay-deduped)
 			}
-			wantSum += captured(i)
+			wantSum += captured(s)
 		}
 	}
 	mu.Unlock()

@@ -71,6 +71,12 @@ type Config struct {
 	// time; share one ingest.SyncWriter with the service when both log
 	// to the same stream.
 	Log io.Writer
+	// Capture, when set, receives every structurally valid submission
+	// (shard id + verbatim body) before admission — offered load, not
+	// accepted load, which is what a traffic replay needs to reproduce.
+	// The hook runs on the request path; it must be fast and must not
+	// panic (traffic.CaptureWriter satisfies both).
+	Capture func(shard string, body []byte)
 }
 
 func (c *Config) normalize() {
@@ -218,6 +224,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		s.writeErr(w, http.StatusBadRequest, kind, err.Error())
 		return
+	}
+	if s.cfg.Capture != nil {
+		s.cfg.Capture(sub.Shard, body)
 	}
 	captured := sub.Captured()
 	switch err := s.svc.Submit(sub); {

@@ -1,0 +1,170 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"profileme/internal/core"
+	"profileme/internal/cpu"
+	"profileme/internal/ingest"
+	"profileme/internal/profile"
+	"profileme/internal/sim"
+	"profileme/internal/stats"
+	"profileme/internal/workload"
+)
+
+// Arrival is one scheduled submission: which cohort, which shard of its
+// pool, and when (microseconds of modeled time from trace start).
+type Arrival struct {
+	OffsetUS int64
+	Cohort   string
+	Shard    int // index into the cohort's payload pool
+}
+
+// Schedule expands the spec into the full arrival list, sorted by
+// offset. Each cohort's arrivals come from a thinned non-homogeneous
+// Poisson process: exponential candidate gaps at the cohort's peak rate,
+// accepted with probability rate(t)/peak. All randomness derives from
+// Spec.Seed, so the same spec always yields the identical schedule.
+func (sp *Spec) Schedule() ([]Arrival, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	var all []Arrival
+	for ci := range sp.Cohorts {
+		c := &sp.Cohorts[ci]
+		rng := stats.NewRNG(mixSeed(sp.Seed, uint64(ci), 0x5c4ed01e))
+		peak := c.peakRate()
+		t := 0.0
+		for {
+			u := rng.Float64()
+			t += -math.Log(1-u) / peak
+			if t >= sp.DurationS {
+				break
+			}
+			accept := rng.Float64()
+			shard := rng.Intn(c.Shards)
+			if accept*peak > c.rateAt(t) {
+				continue // thinned: below the instantaneous rate curve
+			}
+			all = append(all, Arrival{
+				OffsetUS: int64(t * 1e6),
+				Cohort:   c.Name,
+				Shard:    shard,
+			})
+		}
+	}
+	// Merge cohorts into one timeline; ties break deterministically by
+	// cohort name then shard so the schedule is a pure function of the
+	// spec.
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].OffsetUS != all[j].OffsetUS {
+			return all[i].OffsetUS < all[j].OffsetUS
+		}
+		if all[i].Cohort != all[j].Cohort {
+			return all[i].Cohort < all[j].Cohort
+		}
+		return all[i].Shard < all[j].Shard
+	})
+	return all, nil
+}
+
+// Payload is one materialized shard submission: the profile database a
+// simulated fleet member would deliver, plus its encoded wire bytes.
+type Payload struct {
+	// Shard is the tier-wide shard id ("<cohort>/s<idx>").
+	Shard string
+	// DB is the shard's profile database (what HTTPSink submits).
+	DB *profile.DB
+	// Body is ingest.EncodeSubmit(Shard, DB) — the bytes a trace
+	// records, identical to what the sink puts on the wire.
+	Body []byte
+	// Captured is DB.Samples()+DB.Lost(): the shard's weight in the
+	// tier's conservation sum.
+	Captured uint64
+}
+
+// Materialize builds every cohort's payload pool by running the real
+// simulator: each shard is one pipeline run of the cohort's benchmark
+// with a ProfileMe unit attached, data layout and sampling seeds derived
+// from (Spec.Seed, cohort, shard). Returns pools keyed by cohort name.
+//
+// Cost scales with Σ cohorts(Shards × Scale); specs meant for quick
+// tests should keep scales small.
+func (sp *Spec) Materialize() (map[string][]Payload, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	pools := make(map[string][]Payload, len(sp.Cohorts))
+	for ci := range sp.Cohorts {
+		c := &sp.Cohorts[ci]
+		bench, _ := workload.ByName(c.Bench) // existence validated above
+		pool := make([]Payload, 0, c.Shards)
+		for si := 0; si < c.Shards; si++ {
+			db, err := buildShard(sp, c, bench, ci, si)
+			if err != nil {
+				return nil, fmt.Errorf("traffic: cohort %q shard %d: %w", c.Name, si, err)
+			}
+			shardID := fmt.Sprintf("%s/s%03d", c.Name, si)
+			body, err := ingest.EncodeSubmit(shardID, db)
+			if err != nil {
+				return nil, fmt.Errorf("traffic: cohort %q shard %d: %w", c.Name, si, err)
+			}
+			pool = append(pool, Payload{
+				Shard:    shardID,
+				DB:       db,
+				Body:     body,
+				Captured: db.Samples() + db.Lost(),
+			})
+		}
+		pools[c.Name] = pool
+	}
+	return pools, nil
+}
+
+// buildShard runs one simulated fleet member: pipeline + ProfileMe unit,
+// loss recorded for conservation, exactly the wiring pmsim uses.
+func buildShard(sp *Spec, c *Cohort, bench workload.Benchmark, ci, si int) (*profile.DB, error) {
+	dataSeed := mixSeed(sp.Seed, uint64(ci), uint64(si)*2+1)
+	prog := bench.BuildSeeded(c.Scale, dataSeed)
+	ccfg := cpu.DefaultConfig()
+	depth := c.BufferDepth
+	if depth == 0 {
+		depth = 8
+	}
+	unit, err := core.NewUnit(core.Config{
+		MeanInterval: sp.Interval,
+		BufferDepth:  depth,
+		CountMode:    core.CountInstructions,
+		IntervalMode: core.IntervalGeometric,
+		Seed:         mixSeed(sp.Seed, uint64(ci), uint64(si)*2+2),
+	})
+	if err != nil {
+		return nil, err
+	}
+	db := profile.NewDB(sp.Interval, 0, ccfg.SustainedIssueWidth)
+	pipe, err := cpu.New(prog, sim.NewMachineSource(sim.New(prog), 0), ccfg)
+	if err != nil {
+		return nil, err
+	}
+	pipe.AttachProfileMe(unit, db.Handler())
+	if _, err := pipe.Run(0); err != nil {
+		return nil, err
+	}
+	st := unit.Stats()
+	db.RecordLoss(st.SamplesDropped + st.SamplesOverwritten)
+	return db, nil
+}
+
+// mixSeed derives an independent stream seed from the master seed and
+// two indices (splitmix64-style finalization, matching stats.NewRNG's
+// own seeding discipline).
+func mixSeed(master, a, b uint64) uint64 {
+	z := master ^ (a+1)*0x9e3779b97f4a7c15 ^ (b+1)*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}

@@ -1,0 +1,219 @@
+package traffic
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"profileme/internal/cpu"
+	"profileme/internal/ingest"
+	"profileme/internal/runner"
+	"profileme/internal/server"
+)
+
+// collector is one fresh in-process pmsimd: service + HTTP edge.
+type collector struct {
+	svc *ingest.Service
+	ts  *httptest.Server
+}
+
+func newCollector(t *testing.T, interval float64) *collector {
+	t.Helper()
+	svc, err := ingest.NewService(ingest.Config{
+		QueueDepth: 4,
+		Interval:   interval,
+		Width:      cpu.DefaultConfig().SustainedIssueWidth,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	ts := httptest.NewServer(server.New(server.Config{Instance: "c0"}, svc).Handler())
+	t.Cleanup(ts.Close)
+	return &collector{svc: svc, ts: ts}
+}
+
+// aggregateBytes drains the collector and serializes its aggregate.
+func (c *collector) aggregateBytes(t *testing.T) []byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.svc.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.svc.Aggregate().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReplayDeterminism is the PR's core acceptance gate: record a
+// diurnal+burst trace, replay it twice against fresh collector
+// instances, and require bit-identical final aggregate bytes and
+// identical conservation sums. The shard-deduped, order-independent
+// merge makes the aggregate a pure function of the trace once every
+// record is accepted; this test holds the whole stack to that.
+func TestReplayDeterminism(t *testing.T) {
+	sp := smallSpec()
+	traceBytes := driveTrace(t, sp)
+	_, recs, err := ReadAll(bytes.NewReader(traceBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := Options{Speed: 0, MaxAttempts: 20, Backoff: 5 * time.Millisecond}
+	run := func() ([]byte, *Report) {
+		c := newCollector(t, sp.Interval)
+		rep, err := Replay(context.Background(), recs, runner.NewHTTPSink(c.ts.URL), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed != 0 {
+			t.Fatalf("%d records failed delivery", rep.Failed)
+		}
+		if rep.Accepted != len(recs) {
+			t.Fatalf("accepted %d of %d", rep.Accepted, len(recs))
+		}
+		return c.aggregateBytes(t), rep
+	}
+
+	agg1, rep1 := run()
+	agg2, rep2 := run()
+	if !bytes.Equal(agg1, agg2) {
+		t.Fatal("replaying the same trace produced different aggregate bytes")
+	}
+	if rep1.CapturedSum != rep2.CapturedSum || rep1.CapturedSum == 0 {
+		t.Fatalf("conservation sums differ or empty: %d vs %d", rep1.CapturedSum, rep2.CapturedSum)
+	}
+
+	// Conservation: the aggregate's captured total must equal the sum
+	// over distinct offered shards (duplicate arrivals dedupe, refusals
+	// that later succeed reverse their loss).
+	c3 := newCollector(t, sp.Interval)
+	rep3, err := Replay(context.Background(), recs, runner.NewHTTPSink(c3.ts.URL), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Failed != 0 {
+		t.Fatalf("%d records failed delivery", rep3.Failed)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c3.svc.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	agg := c3.svc.Aggregate()
+	got := agg.Samples() + agg.Lost()
+	if got != rep3.CapturedSum {
+		t.Fatalf("aggregate captured %d != offered distinct-shard sum %d", got, rep3.CapturedSum)
+	}
+}
+
+// TestDriveSubmitsAndRecords drives the spec live (sink + recorder in
+// one pass) and checks the trace matches what the collector admitted.
+func TestDriveSubmitsAndRecords(t *testing.T) {
+	sp := smallSpec()
+	c := newCollector(t, sp.Interval)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Spec: sp, Source: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Drive(context.Background(), sp, runner.NewHTTPSink(c.ts.URL), w,
+		Options{Speed: 0, MaxAttempts: 20, Backoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 || rep.Accepted != rep.Records {
+		t.Fatalf("drive: %+v", rep)
+	}
+	if w.Count() != rep.Records {
+		t.Fatalf("recorded %d of %d submissions", w.Count(), rep.Records)
+	}
+	// The trace must be exactly the record-only trace: recording with a
+	// live sink must not perturb the captured bytes.
+	if !bytes.Equal(buf.Bytes(), driveTrace(t, smallSpec())) {
+		t.Fatal("live-driven trace differs from record-only trace")
+	}
+	agg := c.aggregateBytes(t)
+	if len(agg) == 0 {
+		t.Fatal("empty aggregate")
+	}
+}
+
+// TestReplaySpeedWarp checks -speed actually warps pacing: a 2-record
+// trace 300ms apart replayed at 10x completes well under recorded time,
+// and at speed 1 takes at least the recorded gap.
+func TestReplaySpeedWarp(t *testing.T) {
+	sp := smallSpec()
+	pools, err := sp.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pools["steady"][0]
+	recs := []Record{
+		{OffsetUS: 0, Cohort: "steady", Shard: p.Shard, Body: p.Body},
+		{OffsetUS: 300_000, Cohort: "steady", Shard: p.Shard, Body: p.Body},
+	}
+	c := newCollector(t, sp.Interval)
+	sink := runner.NewHTTPSink(c.ts.URL)
+	opts := Options{Speed: 10, MaxAttempts: 20, Backoff: 5 * time.Millisecond}
+	start := time.Now()
+	if _, err := Replay(context.Background(), recs, sink, opts); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 200*time.Millisecond {
+		t.Fatalf("10x replay of a 300ms trace took %v", el)
+	}
+	opts.Speed = 1
+	start = time.Now()
+	if _, err := Replay(context.Background(), recs, sink, opts); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 250*time.Millisecond {
+		t.Fatalf("1x replay of a 300ms trace took only %v", el)
+	}
+}
+
+// TestRecordingSinkCapturesOfferedLoad exercises the pmsim -record path:
+// submissions tee into a trace and still reach the inner sink; the
+// captured bodies replay cleanly.
+func TestRecordingSinkCapturesOfferedLoad(t *testing.T) {
+	sp := smallSpec()
+	pools, err := sp.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector(t, sp.Interval)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Source: "pmsim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := NewRecordingSink(runner.NewHTTPSink(c.ts.URL), w, "steady")
+	ctx := context.Background()
+	for _, p := range pools["steady"] {
+		if err := rs.Submit(ctx, p.Shard, p.DB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta, recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Source != "pmsim" || len(recs) != len(pools["steady"]) {
+		t.Fatalf("capture: source %q, %d records", meta.Source, len(recs))
+	}
+	c2 := newCollector(t, sp.Interval)
+	rep, err := Replay(ctx, recs, runner.NewHTTPSink(c2.ts.URL),
+		Options{Speed: 0, MaxAttempts: 20, Backoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("replay of captured trace: %+v", rep)
+	}
+}

@@ -1,0 +1,159 @@
+package traffic
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// testSpec is a small diurnal+burst two-cohort spec; scales are tiny so
+// Materialize stays test-fast.
+func testSpec() *Spec {
+	return &Spec{
+		Version:   SpecVersion,
+		Seed:      42,
+		DurationS: 60,
+		Interval:  64,
+		Cohorts: []Cohort{
+			{
+				Name: "steady", Bench: "compress", Scale: 20000, Shards: 4,
+				BaseRate: 0.5,
+				Diurnal:  &Diurnal{Amplitude: 0.8, PeriodS: 60},
+			},
+			{
+				Name: "bursty", Bench: "m88ksim", Scale: 20000, Shards: 3,
+				BaseRate: 0.2,
+				Bursts:   []Burst{{AtS: 20, DurS: 10, RatePerS: 3}},
+			},
+		},
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	mutate := func(f func(*Spec)) *Spec {
+		sp := testSpec()
+		f(sp)
+		return sp
+	}
+	bad := []struct {
+		name string
+		sp   *Spec
+	}{
+		{"version", mutate(func(sp *Spec) { sp.Version = 99 })},
+		{"duration", mutate(func(sp *Spec) { sp.DurationS = 0 })},
+		{"interval", mutate(func(sp *Spec) { sp.Interval = -1 })},
+		{"no-cohorts", mutate(func(sp *Spec) { sp.Cohorts = nil })},
+		{"dup-name", mutate(func(sp *Spec) { sp.Cohorts[1].Name = "steady" })},
+		{"bench", mutate(func(sp *Spec) { sp.Cohorts[0].Bench = "nope" })},
+		{"scale", mutate(func(sp *Spec) { sp.Cohorts[0].Scale = 0 })},
+		{"shards", mutate(func(sp *Spec) { sp.Cohorts[0].Shards = 0 })},
+		{"amplitude", mutate(func(sp *Spec) { sp.Cohorts[0].Diurnal.Amplitude = 1.5 })},
+		{"burst", mutate(func(sp *Spec) { sp.Cohorts[1].Bursts[0].DurS = 0 })},
+		{"no-load", mutate(func(sp *Spec) {
+			sp.Cohorts[1].BaseRate = 0
+			sp.Cohorts[1].Bursts = nil
+		})},
+	}
+	for _, tc := range bad {
+		if err := tc.sp.Validate(); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("%s: want ErrBadSpec, got %v", tc.name, err)
+		}
+	}
+	if err := testSpec().Validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	_, err := ParseSpec([]byte(`{"version":1,"seed":1,"duration_s":1,"interval":64,
+		"cohorts":[{"name":"a","bench":"compress","scale":1000,"shards":1,"base_rte":1}]}`))
+	if !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("typo'd field: want ErrBadSpec, got %v", err)
+	}
+}
+
+func TestScheduleDeterministicAndShaped(t *testing.T) {
+	sp := testSpec()
+	s1, err := sp.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := testSpec().Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same spec produced different schedules")
+	}
+	if len(s1) < 20 {
+		t.Fatalf("only %d arrivals in 60 modeled seconds", len(s1))
+	}
+	for i := 1; i < len(s1); i++ {
+		if s1[i].OffsetUS < s1[i-1].OffsetUS {
+			t.Fatal("schedule not sorted by offset")
+		}
+	}
+
+	// The burst window [20s, 30s) must be visibly denser for the bursty
+	// cohort than an equal-length quiet window.
+	inWindow := func(cohort string, lo, hi int64) int {
+		n := 0
+		for _, a := range s1 {
+			if a.Cohort == cohort && a.OffsetUS >= lo && a.OffsetUS < hi {
+				n++
+			}
+		}
+		return n
+	}
+	burst := inWindow("bursty", 20_000_000, 30_000_000)
+	quiet := inWindow("bursty", 40_000_000, 50_000_000)
+	if burst <= quiet+3 {
+		t.Fatalf("burst window %d arrivals vs quiet %d: burst invisible", burst, quiet)
+	}
+
+	// A different seed must move the arrivals.
+	other := testSpec()
+	other.Seed = 43
+	s3, err := other.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(s1, s3) {
+		t.Fatal("different seed produced the identical schedule")
+	}
+}
+
+func TestMaterializeDeterministicPayloads(t *testing.T) {
+	sp := testSpec()
+	// Shrink: payload determinism needs only one cohort and few shards.
+	sp.Cohorts = sp.Cohorts[:1]
+	sp.Cohorts[0].Shards = 2
+	p1, err := sp.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := sp.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool1, pool2 := p1["steady"], p2["steady"]
+	if len(pool1) != 2 || len(pool2) != 2 {
+		t.Fatalf("pool sizes %d/%d", len(pool1), len(pool2))
+	}
+	for i := range pool1 {
+		if pool1[i].Shard != pool2[i].Shard {
+			t.Fatalf("shard id mismatch at %d", i)
+		}
+		if string(pool1[i].Body) != string(pool2[i].Body) {
+			t.Fatalf("shard %s: payload bytes differ across materializations", pool1[i].Shard)
+		}
+		if pool1[i].Captured == 0 {
+			t.Fatalf("shard %s captured nothing", pool1[i].Shard)
+		}
+	}
+	// Distinct shards must carry distinct payloads (different data
+	// seeds and sampling seeds).
+	if string(pool1[0].Body) == string(pool1[1].Body) {
+		t.Fatal("distinct shards produced identical payloads")
+	}
+}

@@ -1,0 +1,162 @@
+package traffic
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+)
+
+// driveTrace materializes the test spec and writes its trace to a
+// buffer, record-only (nil sink).
+func driveTrace(t *testing.T, sp *Spec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Spec: sp, Source: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Drive(context.Background(), sp, nil, w, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() == 0 {
+		t.Fatal("trace has no records")
+	}
+	return buf.Bytes()
+}
+
+func smallSpec() *Spec {
+	sp := testSpec()
+	sp.DurationS = 20
+	sp.Cohorts[0].Shards = 2
+	sp.Cohorts[1].Shards = 2
+	return sp
+}
+
+func TestTraceRoundTripAndBitIdentical(t *testing.T) {
+	sp := smallSpec()
+	b1 := driveTrace(t, sp)
+	b2 := driveTrace(t, smallSpec())
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same spec + same seed did not produce a bit-identical trace file")
+	}
+
+	meta, recs, err := ReadAll(bytes.NewReader(b1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Spec == nil || meta.Spec.Seed != sp.Seed || meta.Source != "test" {
+		t.Fatalf("meta did not round-trip: %+v", meta)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records read back")
+	}
+	sched, err := sp.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(sched) {
+		t.Fatalf("%d records != %d scheduled arrivals", len(recs), len(sched))
+	}
+	for i := range recs {
+		if recs[i].OffsetUS != sched[i].OffsetUS || recs[i].Cohort != sched[i].Cohort {
+			t.Fatalf("record %d (%+v) does not match schedule (%+v)", i, recs[i], sched[i])
+		}
+		if len(recs[i].Body) == 0 || recs[i].Shard == "" {
+			t.Fatalf("record %d incomplete", i)
+		}
+	}
+}
+
+func TestTraceTornTail(t *testing.T) {
+	full := driveTrace(t, smallSpec())
+	_, whole, err := ReadAll(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-way through the final record: every earlier record must
+	// come back intact, then the typed truncation error.
+	torn := full[:len(full)-7]
+	meta, recs, err := ReadAll(bytes.NewReader(torn))
+	if !errors.Is(err, ErrTraceTruncated) {
+		t.Fatalf("torn tail: want ErrTraceTruncated, got %v", err)
+	}
+	if meta.Spec == nil {
+		t.Fatal("torn tail lost the meta block")
+	}
+	if len(recs) != len(whole)-1 {
+		t.Fatalf("recovered %d of %d records before the tear", len(recs), len(whole))
+	}
+}
+
+func TestTraceBitFlip(t *testing.T) {
+	full := driveTrace(t, smallSpec())
+	// Flip one bit inside the last record's payload (well past the
+	// header): the reader must answer ErrTraceCorrupt, not garbage.
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)-20] ^= 0x40
+	_, _, err := ReadAll(bytes.NewReader(flipped))
+	if !errors.Is(err, ErrTraceCorrupt) {
+		t.Fatalf("bit flip: want ErrTraceCorrupt, got %v", err)
+	}
+}
+
+func TestTraceVersionSkewAndBadMagic(t *testing.T) {
+	full := driveTrace(t, smallSpec())
+	skewed := append([]byte(nil), full...)
+	skewed[4] = 99 // version field
+	if _, err := NewReader(bytes.NewReader(skewed)); !errors.Is(err, ErrTraceVersionSkew) {
+		t.Fatalf("version skew: want ErrTraceVersionSkew, got %v", err)
+	}
+	notTrace := []byte("PMDBxxxxxxxxxxxxxxxx")
+	if _, err := NewReader(bytes.NewReader(notTrace)); !errors.Is(err, ErrTraceCorrupt) {
+		t.Fatalf("bad magic: want ErrTraceCorrupt, got %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader(full[:6])); !errors.Is(err, ErrTraceTruncated) {
+		t.Fatalf("short header: want ErrTraceTruncated, got %v", err)
+	}
+}
+
+// FuzzTraceDecode holds the reader to its contract on arbitrary bytes:
+// typed errors or clean decode, never a panic, never unbounded
+// allocation.
+func FuzzTraceDecode(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Source: "fuzz"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Append(Record{OffsetUS: 10, Cohort: "c", Shard: "c/s000", Body: []byte("xx")}); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("PMTF"))
+	f.Add([]byte{})
+	mut := append([]byte(nil), valid...)
+	mut[9] = 0xff
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrTraceCorrupt) && !errors.Is(err, ErrTraceTruncated) && !errors.Is(err, ErrTraceVersionSkew) {
+				t.Fatalf("untyped header error: %v", err)
+			}
+			return
+		}
+		for {
+			_, err := tr.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, ErrTraceCorrupt) && !errors.Is(err, ErrTraceTruncated) {
+					t.Fatalf("untyped record error: %v", err)
+				}
+				return
+			}
+		}
+	})
+}

@@ -46,7 +46,11 @@ func Figure2Program(nops, iters int) *isa.Program {
 // Ranking instructions by total latency therefore names loop C the
 // bottleneck, while the wasted-slot metric correctly names loop A — the
 // paper's argument for measuring useful concurrency via paired sampling.
-func Figure7Program(iters int) *isa.Program {
+func Figure7Program(iters int) *isa.Program { return Figure7ProgramSeeded(iters, 0) }
+
+// Figure7ProgramSeeded is Figure7Program with an explicit pointer-ring
+// seed (0 = canonical).
+func Figure7ProgramSeeded(iters int, dataSeed uint64) *isa.Program {
 	src := fmt.Sprintf(`
 .equ ITERS, %d
 .equ ITERSB, %d
@@ -111,7 +115,7 @@ cdata:
 	p := sanity(asm.Assemble(src))
 	// loop B's pointer ring: 64 cache-resident cells pointing at each
 	// other in a shuffled cycle.
-	rng := stats.NewRNG(0xf167)
+	rng := stats.NewRNG(deriveSeed(0xf167, dataSeed))
 	perm := rng.Perm(64)
 	for i := 0; i < 64; i++ {
 		from := uint64(0x20000) + uint64(perm[i])*8
@@ -138,7 +142,11 @@ func Figure7Loops(p *isa.Program) map[string][2]uint64 {
 // Table1Programs returns one stress kernel per Table 1 latency row, each
 // engineered so that its named pipeline-stage latency dominates. The keys
 // are stable identifiers used by the table harness.
-func Table1Programs(iters int) map[string]*isa.Program {
+func Table1Programs(iters int) map[string]*isa.Program { return Table1ProgramsSeeded(iters, 0) }
+
+// Table1ProgramsSeeded is Table1Programs with an explicit pointer-ring
+// seed (0 = canonical).
+func Table1ProgramsSeeded(iters int, dataSeed uint64) map[string]*isa.Program {
 	progs := make(map[string]*isa.Program)
 
 	// fetch->map: the mapper stalls because the issue queue is full
@@ -289,7 +297,7 @@ ring:
 	// most miss L2 and the TLB.
 	mem := progs["mem-latency"]
 	const cells = 512
-	rng := stats.NewRNG(0x7ab1e)
+	rng := stats.NewRNG(deriveSeed(0x7ab1e, dataSeed))
 	perm := rng.Perm(cells)
 	for i := 0; i < cells; i++ {
 		from := uint64(0x400000) + uint64(perm[i])*8192

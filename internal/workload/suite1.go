@@ -13,7 +13,11 @@ import (
 // table with one linear reprobe, inserting on miss. Data-dependent
 // hit/miss branches and a table larger than the L1 working set give it the
 // cache and mispredict profile of the original.
-func Compress(scale int) *isa.Program {
+func Compress(scale int) *isa.Program { return CompressSeeded(scale, 0) }
+
+// CompressSeeded is Compress with an explicit input-stream seed
+// (0 = canonical).
+func CompressSeeded(scale int, dataSeed uint64) *isa.Program {
 	iters := clampScale(scale/20, 16, 0)
 	src := fmt.Sprintf(`
 .equ ITERS, %d
@@ -66,7 +70,7 @@ input:
 htab:
 `, iters)
 	p := sanity(asm.Assemble(src))
-	fillWords(p, 0x20000, 4096, 0xc0115eed, 251)
+	fillWords(p, 0x20000, 4096, deriveSeed(0xc0115eed, dataSeed), 251)
 	return p
 }
 
@@ -74,7 +78,10 @@ htab:
 // folding: recursive evaluation over binary trees stored in memory, with a
 // branchy operator dispatch at every inner node. Call-heavy, branchy, and
 // full of dependent pointer loads.
-func GCC(scale int) *isa.Program {
+func GCC(scale int) *isa.Program { return GCCSeeded(scale, 0) }
+
+// GCCSeeded is GCC with an explicit tree-shape seed (0 = canonical).
+func GCCSeeded(scale int, dataSeed uint64) *isa.Program {
 	const (
 		nodeBase  = 0x30000
 		roots     = 16
@@ -152,7 +159,7 @@ nodes:
 	p := sanity(asm.Assemble(src))
 
 	// Build the trees: nodes are 4 words (op, left, right, value).
-	rng := stats.NewRNG(0x9cc)
+	rng := stats.NewRNG(deriveSeed(0x9cc, dataSeed))
 	next := uint64(nodeBase)
 	alloc := func() uint64 {
 		a := next
@@ -182,7 +189,10 @@ nodes:
 // a 19x19 board with padding, classifying each point with data-dependent
 // branches and probing its neighbours. The classification rotates with the
 // pass number so branch directions do not settle.
-func Go(scale int) *isa.Program {
+func Go(scale int) *isa.Program { return GoSeeded(scale, 0) }
+
+// GoSeeded is Go with an explicit board seed (0 = canonical).
+func GoSeeded(scale int, dataSeed uint64) *isa.Program {
 	passes := clampScale(scale/9500, 2, 0)
 	src := fmt.Sprintf(`
 .equ PASSES, %d
@@ -240,6 +250,6 @@ badboard:
 board:
 `, passes)
 	p := sanity(asm.Assemble(src))
-	fillWords(p, 0x50000, 21*21, 0x60b0a4d, 3)
+	fillWords(p, 0x50000, 21*21, deriveSeed(0x60b0a4d, dataSeed), 3)
 	return p
 }

@@ -12,7 +12,10 @@ import (
 // transforms: unrolled butterfly arithmetic over 8-word blocks with
 // integer multiplies, regular strided memory and almost no branches. The
 // high-ILP member of the suite.
-func Ijpeg(scale int) *isa.Program {
+func Ijpeg(scale int) *isa.Program { return IjpegSeeded(scale, 0) }
+
+// IjpegSeeded is Ijpeg with an explicit pixel seed (0 = canonical).
+func IjpegSeeded(scale int, dataSeed uint64) *isa.Program {
 	blocks := clampScale(scale/45, 8, 0)
 	src := fmt.Sprintf(`
 .equ BLOCKS, %d
@@ -75,14 +78,17 @@ block:
 pixels:
 `, blocks)
 	p := sanity(asm.Assemble(src))
-	fillWords(p, 0x70000, 4096, 0x1dea1, 4096)
+	fillWords(p, 0x70000, 4096, deriveSeed(0x1dea1, dataSeed), 4096)
 	return p
 }
 
 // Li is a list-interpreter kernel in the style of SPEC LI: serial pointer
 // chasing through scattered cons cells, summing cars and branching on
 // their parity. The low-ILP, cache-hostile member of the suite.
-func Li(scale int) *isa.Program {
+func Li(scale int) *isa.Program { return LiSeeded(scale, 0) }
+
+// LiSeeded is Li with an explicit heap-scatter seed (0 = canonical).
+func LiSeeded(scale int, dataSeed uint64) *isa.Program {
 	const (
 		lists    = 64
 		cells    = 200
@@ -126,7 +132,7 @@ cellheap:
 
 	// Scatter the cells of each list across a 1 MB heap so the cdr chain
 	// misses the caches, like a fragmented lisp heap.
-	rng := stats.NewRNG(0x115b)
+	rng := stats.NewRNG(deriveSeed(0x115b, dataSeed))
 	slots := rng.Perm(lists * cells)
 	cellAddr := func(slot int) uint64 { return cellBase + uint64(slots[slot])*64 }
 	slot := 0
@@ -151,7 +157,10 @@ cellheap:
 // a dispatch loop that indirect-jumps through a handler table, with VM
 // stack traffic and a hash-lookup opcode. The indirect-branch-hostile
 // member of the suite.
-func Perl(scale int) *isa.Program {
+func Perl(scale int) *isa.Program { return PerlSeeded(scale, 0) }
+
+// PerlSeeded is Perl with an explicit bytecode seed (0 = canonical).
+func PerlSeeded(scale int, dataSeed uint64) *isa.Program {
 	const codeWords = 1024
 	steps := clampScale(scale/16, 32, 0)
 	src := fmt.Sprintf(`
@@ -246,7 +255,7 @@ hashtab:
 
 	// Generate bytecode biased toward pushes so the VM stack ring mostly
 	// holds real values; operands are random.
-	rng := stats.NewRNG(0x9e71)
+	rng := stats.NewRNG(deriveSeed(0x9e71, dataSeed))
 	for i := 0; i < codeWords; i++ {
 		var op uint64
 		switch r := rng.Intn(10); {
@@ -266,6 +275,6 @@ hashtab:
 		operand := rng.Uint64() % 1024
 		p.Data[0x62000+uint64(i)*8] = op | operand<<8
 	}
-	fillWords(p, 0x64000, 2048, 0xdeadbee, 9999)
+	fillWords(p, 0x64000, 2048, deriveSeed(0xdeadbee, dataSeed), 9999)
 	return p
 }

@@ -12,7 +12,10 @@ import (
 // "floating point" dot products and rotations per ray, a sign-test branch
 // on the discriminant, and an expensive divide on the hit path. The
 // FP-heavy member of the suite.
-func Povray(scale int) *isa.Program {
+func Povray(scale int) *isa.Program { return PovraySeeded(scale, 0) }
+
+// PovraySeeded is Povray with an explicit scene seed (0 = canonical).
+func PovraySeeded(scale int, dataSeed uint64) *isa.Program {
 	rays := clampScale(scale/26, 8, 0)
 	src := fmt.Sprintf(`
 .equ RAYS, %d
@@ -61,7 +64,7 @@ spheres:
 	p := sanity(asm.Assemble(src))
 	// 64 spheres: centre components and a radius term calibrated so a
 	// moderate fraction of rays "hit".
-	rng := stats.NewRNG(0x9077)
+	rng := stats.NewRNG(deriveSeed(0x9077, dataSeed))
 	for i := 0; i < 64; i++ {
 		base := uint64(0x80000) + uint64(i)*32
 		p.Data[base+0] = rng.Uint64() % (1 << 20)
@@ -76,7 +79,11 @@ spheres:
 // lookups into a 256 KB open-addressed record table with bounded probing,
 // field updates on hit and insert-with-eviction on miss, behind a
 // procedure-call interface. The store-heavy member of the suite.
-func Vortex(scale int) *isa.Program {
+func Vortex(scale int) *isa.Program { return VortexSeeded(scale, 0) }
+
+// VortexSeeded is Vortex with an explicit record-prefill seed
+// (0 = canonical).
+func VortexSeeded(scale int, dataSeed uint64) *isa.Program {
 	const (
 		slots    = 8192
 		recBase  = 0x90000
@@ -150,7 +157,7 @@ records:
 	p := sanity(asm.Assemble(src))
 
 	// Prefill ~60% of the table using the same hash and probing rule.
-	rng := stats.NewRNG(0x0c7e)
+	rng := stats.NewRNG(deriveSeed(0x0c7e, dataSeed))
 	inserted := 0
 	for inserted < prefill {
 		key := rng.Uint64()%0xffff + 1

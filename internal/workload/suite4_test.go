@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"profileme/internal/core"
+	"profileme/internal/cpu"
+	"profileme/internal/isa"
+	"profileme/internal/profile"
+	"profileme/internal/sim"
+)
+
+// TestExtensionKernelCharacter pins the behavioural corner each extension
+// kernel was added to occupy: retire counts within calibration, a profile
+// whose samples all land in the static image, and the op-mix signature
+// that distinguishes the kernel (indirect dispatch, FP stencil work,
+// compare-driven swaps).
+func TestExtensionKernelCharacter(t *testing.T) {
+	cases := []struct {
+		name string
+		// op-mix signature over the retired stream, as fractions.
+		wantOp       isa.Op
+		minFrac      float64
+		minIPC       float64
+		maxIPC       float64
+		minCondTaken float64 // taken fraction of conditional branches
+		maxCondTaken float64
+	}{
+		// m88ksim: one indirect jump per interpreted target instruction
+		// (~27 retired), so OpJmp must be a steady few percent.
+		{name: "m88ksim", wantOp: isa.OpJmp, minFrac: 0.02, minIPC: 0.1, maxIPC: 2.5, minCondTaken: 0.3, maxCondTaken: 0.995},
+		// swim: the stencil body is a third FP ops, and its branches are
+		// loop control, so conditionals are taken almost always.
+		{name: "swim", wantOp: isa.OpFAdd, minFrac: 0.1, minIPC: 0.5, maxIPC: 4.0, minCondTaken: 0.9, maxCondTaken: 1.0},
+		// eqntott: compare-driven swaps keep conditional-branch direction
+		// far from settled (the loop-control branches pull the aggregate
+		// taken rate up, but nowhere near swim's).
+		{name: "eqntott", wantOp: isa.OpCmpLt, minFrac: 0.04, minIPC: 0.3, maxIPC: 3.0, minCondTaken: 0.35, maxCondTaken: 0.65},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			b, ok := ByName(tc.name)
+			if !ok {
+				t.Fatalf("%s missing from suite", tc.name)
+			}
+			prog := b.Build(30000)
+
+			// Functional ground truth: retired count and op mix.
+			m := sim.New(prog)
+			var retired, opCount, condBr, condTaken uint64
+			for !m.Halted() {
+				rec, ok, err := m.Step()
+				if err != nil {
+					t.Fatalf("functional run: %v", err)
+				}
+				if !ok {
+					break
+				}
+				retired++
+				if rec.Inst.Op == tc.wantOp {
+					opCount++
+				}
+				if rec.Inst.Op == isa.OpBeq || rec.Inst.Op == isa.OpBne || rec.Inst.Op == isa.OpBlt || rec.Inst.Op == isa.OpBge {
+					condBr++
+					if rec.Taken {
+						condTaken++
+					}
+				}
+				if retired > 3_000_000 {
+					t.Fatal("did not halt")
+				}
+			}
+			if retired < 10_000 || retired > 400_000 {
+				t.Fatalf("retired %d at scale 30000: calibration off", retired)
+			}
+			if frac := float64(opCount) / float64(retired); frac < tc.minFrac {
+				t.Errorf("%s op %v fraction %.3f < %.3f", tc.name, tc.wantOp, frac, tc.minFrac)
+			}
+			if condBr == 0 {
+				t.Fatal("no conditional branches retired")
+			}
+			taken := float64(condTaken) / float64(condBr)
+			if taken < tc.minCondTaken || taken > tc.maxCondTaken {
+				t.Errorf("conditional taken rate %.3f outside [%.2f, %.2f]", taken, tc.minCondTaken, tc.maxCondTaken)
+			}
+
+			// Pipeline run with a ProfileMe unit: retire count must match
+			// the functional ground truth exactly, sampling must cover the
+			// run, and every sampled PC must be a static instruction.
+			prog2 := b.Build(30000)
+			src := sim.NewMachineSource(sim.New(prog2), 0)
+			pipe, err := cpu.New(prog2, src, cpu.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			unit := core.MustNewUnit(core.Config{
+				MeanInterval: 64, Window: 80, BufferDepth: 8,
+				CountMode: core.CountInstructions, IntervalMode: core.IntervalGeometric, Seed: 7,
+			})
+			db := profile.NewDB(64, 80, 4)
+			pipe.AttachProfileMe(unit, func(ss []core.Sample) {
+				for _, s := range ss {
+					if s.First.Events.Has(core.EvNoInstruction) {
+						continue
+					}
+					db.Add(s)
+				}
+			})
+			res, err := pipe.Run(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Retired != retired {
+				t.Fatalf("pipeline retired %d, functional %d", res.Retired, retired)
+			}
+			if ipc := res.IPC(); ipc < tc.minIPC || ipc > tc.maxIPC {
+				t.Errorf("IPC %.2f outside [%.2f, %.2f]", ipc, tc.minIPC, tc.maxIPC)
+			}
+			if db.Samples() < 50 {
+				t.Fatalf("only %d samples", db.Samples())
+			}
+			for _, pc := range db.PCs() {
+				if _, ok := prog2.At(pc); !ok {
+					t.Fatalf("sampled PC %#x is not a static instruction", pc)
+				}
+			}
+		})
+	}
+}
+
+// TestSuiteSeededBuilders pins the satellite contract for every suite
+// member: BuildSeeded exists, dataSeed 0 reproduces Build exactly, a
+// nonzero dataSeed is deterministic, changes the data image without
+// changing the code, and still halts within the calibration bounds.
+func TestSuiteSeededBuilders(t *testing.T) {
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			if b.BuildSeeded == nil {
+				t.Fatal("no BuildSeeded")
+			}
+			canonical := b.Build(30000)
+			zero := b.BuildSeeded(30000, 0)
+			if !reflect.DeepEqual(canonical.Insts, zero.Insts) || !reflect.DeepEqual(canonical.Data, zero.Data) {
+				t.Fatal("BuildSeeded(scale, 0) != Build(scale)")
+			}
+
+			a1 := b.BuildSeeded(30000, 9001)
+			a2 := b.BuildSeeded(30000, 9001)
+			if !reflect.DeepEqual(a1.Insts, a2.Insts) || !reflect.DeepEqual(a1.Data, a2.Data) {
+				t.Fatal("same (scale, dataSeed) built different programs")
+			}
+			if !reflect.DeepEqual(canonical.Insts, a1.Insts) {
+				t.Fatal("dataSeed changed the code image")
+			}
+			if reflect.DeepEqual(canonical.Data, a1.Data) {
+				t.Fatal("dataSeed did not change the data image")
+			}
+
+			n := runFunctional(t, a1, 3_000_000)
+			if n < 10_000 || n > 400_000 {
+				t.Fatalf("seeded variant retired %d at scale 30000", n)
+			}
+		})
+	}
+}

@@ -1,6 +1,8 @@
 // Package workload provides the benchmark programs the experiments run:
 // a suite of eight synthetic kernels shaped after the SPECint95 programs
 // the paper profiles (COMPRESS, GCC, GO, IJPEG, LI, PERL, POVRAY, VORTEX),
+// three extension kernels that grow the suite toward the production
+// workload mixes continuous profiling serves (M88KSIM, SWIM, EQNTOTT),
 // plus the special-purpose programs behind individual figures — the
 // Figure 2 load+nops loop, the Figure 7 three-loop program, and the
 // Table 1 stall-stress kernels.
@@ -25,24 +27,35 @@ import (
 
 // Benchmark names a suite program and builds it at a given scale
 // (approximately scale dynamic instructions, within a small factor).
+//
+// Every builder is seeded: BuildSeeded(scale, dataSeed) varies the
+// kernel's data layout (hash-table contents, tree shapes, bytecode,
+// grids) deterministically from dataSeed, so a traffic spec naming a
+// (benchmark, scale, dataSeed) triple reproduces the program bit-for-bit
+// with no hidden package state. dataSeed 0 selects the canonical layout;
+// Build(scale) is exactly BuildSeeded(scale, 0).
 type Benchmark struct {
-	Name  string
-	Notes string // dominant behaviour, for reports
-	Build func(scale int) *isa.Program
+	Name        string
+	Notes       string // dominant behaviour, for reports
+	Build       func(scale int) *isa.Program
+	BuildSeeded func(scale int, dataSeed uint64) *isa.Program
 }
 
-// Suite returns the eight SPECint95-flavoured benchmarks, in the paper's
-// order.
+// Suite returns the benchmark suite: the paper's eight SPECint95-flavoured
+// kernels in the paper's order, then the extension kernels.
 func Suite() []Benchmark {
 	return []Benchmark{
-		{"compress", "hash-table stream compression: data-dependent branches, table misses", Compress},
-		{"gcc", "expression-tree evaluation: call-heavy, branchy, pointer loads", GCC},
-		{"go", "board scanning: irregular data-dependent branches", Go},
-		{"ijpeg", "dense block arithmetic: high ILP, regular memory", Ijpeg},
-		{"li", "cons-cell list interpreter: serial pointer chasing", Li},
-		{"perl", "bytecode interpreter: indirect-jump dispatch, stack traffic", Perl},
-		{"povray", "ray-sphere arithmetic: FP-heavy with divides", Povray},
-		{"vortex", "record store: hashed lookups, stores, call chains", Vortex},
+		{"compress", "hash-table stream compression: data-dependent branches, table misses", Compress, CompressSeeded},
+		{"gcc", "expression-tree evaluation: call-heavy, branchy, pointer loads", GCC, GCCSeeded},
+		{"go", "board scanning: irregular data-dependent branches", Go, GoSeeded},
+		{"ijpeg", "dense block arithmetic: high ILP, regular memory", Ijpeg, IjpegSeeded},
+		{"li", "cons-cell list interpreter: serial pointer chasing", Li, LiSeeded},
+		{"perl", "bytecode interpreter: indirect-jump dispatch, stack traffic", Perl, PerlSeeded},
+		{"povray", "ray-sphere arithmetic: FP-heavy with divides", Povray, PovraySeeded},
+		{"vortex", "record store: hashed lookups, stores, call chains", Vortex, VortexSeeded},
+		{"m88ksim", "CPU-simulator interpreter: indirect dispatch over a memory register file", M88ksim, M88ksimSeeded},
+		{"swim", "shallow-water relaxation: 5-point FP stencil, regular strides", Swim, SwimSeeded},
+		{"eqntott", "truth-table term exchange: compare-driven swaps, mispredict-heavy", Eqntott, EqntottSeeded},
 	}
 }
 
@@ -64,6 +77,19 @@ func Names() []string {
 		names[i] = b.Name
 	}
 	return names
+}
+
+// deriveSeed mixes a caller-supplied data seed into a kernel's canonical
+// data-fill seed. dataSeed 0 means "canonical": the kernel lays out its
+// data exactly as the golden runs expect, so every existing digest and
+// experiment stands. Any other value yields a decorrelated but fully
+// reproducible layout — the same (benchmark, scale, dataSeed) triple
+// always builds the same program.
+func deriveSeed(canonical, dataSeed uint64) uint64 {
+	if dataSeed == 0 {
+		return canonical
+	}
+	return canonical ^ (dataSeed*0x9e3779b97f4a7c15 + 0x94d049bb133111eb)
 }
 
 // fillWords writes n pseudo-random words (bounded by mod when mod > 0)

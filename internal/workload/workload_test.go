@@ -126,7 +126,7 @@ func TestByNameAndNames(t *testing.T) {
 	if _, ok := ByName("nope"); ok {
 		t.Fatal("bogus benchmark found")
 	}
-	if len(Names()) != 8 {
+	if len(Names()) != 11 {
 		t.Fatalf("suite has %d entries", len(Names()))
 	}
 }
